@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the routing layer: Algorithm 1 event
+//! processing, centralized graph construction, and graph validation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use digs_routing::messages::JoinIn;
+use digs_routing::{DigsRouting, Rank, RoutingConfig};
+use digs_sim::ids::NodeId;
+use digs_sim::link::LinkModel;
+use digs_sim::rf::{Dbm, RfConfig};
+use digs_sim::time::Asn;
+use digs_sim::topology::Topology;
+use digs_whart::{build_uplink_graph, LinkDb};
+
+fn join_in(rank: u16, etx_w: f64) -> JoinIn {
+    JoinIn { rank: Rank(rank), etx_w, best_parent: None, second_parent: None }
+}
+
+/// A device with a populated neighbor table.
+fn loaded_device(neighbors: u16) -> DigsRouting {
+    let mut d = DigsRouting::new(NodeId(100), false, RoutingConfig::default(), 1, Asn::ZERO);
+    for i in 0..neighbors {
+        let rank = 2 + i % 4;
+        d.on_join_in(
+            NodeId(i),
+            &join_in(rank, f64::from(rank) * 1.3),
+            Dbm(-60.0 - f64::from(i % 30)),
+            Asn(u64::from(i)),
+        );
+    }
+    d
+}
+
+fn bench_routing(c: &mut Criterion) {
+    c.bench_function("alg1_join_in_30_neighbors", |b| {
+        b.iter_batched(
+            || loaded_device(30),
+            |mut d| d.on_join_in(NodeId(31), &join_in(2, 1.0), Dbm(-62.0), Asn(1000)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("alg1_tx_result_feedback", |b| {
+        b.iter_batched(
+            || loaded_device(30),
+            |mut d| d.on_tx_result(d.best_parent().expect("joined"), false, Asn(1000)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let topo = Topology::testbed_a();
+    let model = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+    let db = LinkDb::from_link_model(&model);
+    let roots = topo.access_points();
+    c.bench_function("central_graph_50_nodes", |b| {
+        b.iter(|| build_uplink_graph(&db, &roots))
+    });
+
+    let graph = build_uplink_graph(&db, &roots);
+    c.bench_function("graph_dag_validation_50_nodes", |b| b.iter(|| graph.is_dag()));
+    c.bench_function("graph_reachability_50_nodes", |b| {
+        b.iter(|| graph.all_reachable())
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the autonomous schedulers: per-slot cell
+//! resolution is on every node's critical path (once per 10 ms slot on a
+//! mote), so it must be fast and allocation-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digs_routing::messages::ParentSlot;
+use digs_scheduling::{DigsScheduler, OrchestraScheduler, SlotframeLengths};
+use digs_sim::ids::NodeId;
+use digs_sim::time::Asn;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut digs = DigsScheduler::new(NodeId(25), 2, SlotframeLengths::paper(), 3);
+    digs.set_parents(Some(NodeId(3)), Some(NodeId(7)));
+    for child in 30..42u16 {
+        digs.add_child(NodeId(child), ParentSlot::Best);
+    }
+    c.bench_function("digs_cell_resolution_12_children", |b| {
+        let mut asn = 0u64;
+        b.iter(|| {
+            asn += 1;
+            digs.cell(Asn(asn))
+        })
+    });
+
+    let mut orchestra = OrchestraScheduler::new(NodeId(25), SlotframeLengths::paper());
+    orchestra.set_parent(Some(NodeId(3)));
+    for child in 30..42u16 {
+        orchestra.add_child(NodeId(child));
+    }
+    c.bench_function("orchestra_cell_resolution_12_children", |b| {
+        let mut asn = 0u64;
+        b.iter(|| {
+            asn += 1;
+            orchestra.cell(Asn(asn))
+        })
+    });
+
+    c.bench_function("digs_eq4_slot_computation", |b| {
+        let s = DigsScheduler::new(NodeId(2), 2, SlotframeLengths::paper(), 3);
+        let mut id = 2u16;
+        b.iter(|| {
+            id = 2 + (id + 1) % 48;
+            s.tx_slot(NodeId(id), 1 + (id % 3) as u8)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

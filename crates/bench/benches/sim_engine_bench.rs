@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks for the simulation engine: slot throughput
+//! determines how many flow-set experiments fit in a benchmarking budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digs::config::{NetworkConfig, Protocol};
+use digs::network::Network;
+use digs_sim::topology::Topology;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    for (name, topo, flows) in [
+        ("testbed_a_half_20n", Topology::testbed_a_half(), 2usize),
+        ("testbed_a_50n", Topology::testbed_a(), 8),
+    ] {
+        group.bench_function(format!("digs_1s_sim_{name}"), |b| {
+            // Pre-form the network once; measure steady-state slot cost.
+            let config = NetworkConfig::builder(topo.clone())
+                .protocol(Protocol::Digs)
+                .seed(1)
+                .random_flows(flows, 500, 1)
+                .build();
+            let mut network = Network::new(config);
+            network.run_secs(60);
+            b.iter(|| network.run(100))
+        });
+    }
+
+    group.bench_function("orchestra_1s_sim_testbed_a_50n", |b| {
+        let config = NetworkConfig::builder(Topology::testbed_a())
+            .protocol(Protocol::Orchestra)
+            .seed(1)
+            .random_flows(8, 500, 1)
+            .build();
+        let mut network = Network::new(config);
+        network.run_secs(60);
+        b.iter(|| network.run(100))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

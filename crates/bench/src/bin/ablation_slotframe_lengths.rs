@@ -1,0 +1,58 @@
+//! Ablation — sweep of the application slotframe length.
+//!
+//! Validates the paper's Section VI-B analysis: a shorter application
+//! slotframe lowers latency but raises the duty cycle; the analytical
+//! skip probabilities (Eq. 6) are printed alongside for each length.
+
+use digs::config::Protocol;
+use digs::experiment;
+use digs::scenarios;
+use digs_metrics::format::figure_header;
+use digs_metrics::Cdf;
+use digs_scheduling::analysis::digs_skip_probabilities;
+use digs_scheduling::SlotframeLengths;
+
+fn main() {
+    let sets = digs_bench::sets(4);
+    let secs = digs_bench::secs(300);
+    println!(
+        "{}",
+        figure_header("Ablation", "application slotframe length sweep (DiGS, Testbed A, clean)")
+    );
+    println!(
+        "{:>8} | {:>10} | {:>12} | {:>12} | {:>12} | {:>10}",
+        "L_app", "mean PDR", "median lat", "duty cycle", "p_skip(app)", "hyper-per."
+    );
+
+    for app_len in [53u32, 101, 151, 307] {
+        let lengths = SlotframeLengths { app: app_len, ..SlotframeLengths::paper() };
+        lengths.validate().expect("coprime");
+        let runs = digs_bench::run_seeds(
+            move |seed| {
+                let mut config = scenarios::testbed_a_interference(Protocol::Digs, seed);
+                config.jammers.clear();
+                config.slotframes = lengths;
+                config
+            },
+            sets,
+            secs,
+        );
+        let pdr = Cdf::new(experiment::flow_set_pdrs(&runs)).expect("runs");
+        let lat = Cdf::new(experiment::all_latencies_ms(&runs)).expect("deliveries");
+        let duty: f64 = runs.iter().map(|r| r.mean_duty_cycle_percent()).sum::<f64>()
+            / runs.len() as f64;
+        let (_, _, p_skip_app) = digs_skip_probabilities((lengths.sync, lengths.routing, app_len), 2, 3);
+        println!(
+            "{:>8} | {:>10.3} | {:>10.0}ms | {:>11.3}% | {:>12.4} | {:>10}",
+            app_len,
+            pdr.mean(),
+            lat.median(),
+            duty,
+            p_skip_app,
+            lengths.hyper_period()
+        );
+    }
+    println!();
+    println!("expectation: latency grows ~linearly with L_app; duty cycle shrinks;");
+    println!("Eq. 6 skip probabilities stay below a few percent throughout.");
+}

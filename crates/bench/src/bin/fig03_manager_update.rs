@@ -1,0 +1,50 @@
+//! Fig. 3 — time consumed by the centralized WirelessHART Network Manager
+//! to collect topology information, regenerate routes and schedule, and
+//! disseminate them, for the four study topologies.
+//!
+//! Paper values: Half Testbed A 203 s, Full Testbed A 506 s,
+//! Half Testbed B 191 s, Full Testbed B 443 s.
+
+use digs_metrics::format::{bar_table, figure_header};
+use digs_sim::link::LinkModel;
+use digs_sim::rf::RfConfig;
+use digs_sim::topology::Topology;
+use digs_whart::{LinkDb, NetworkManager, UpdateCostConfig};
+
+fn update_time(topology: &Topology, flows: usize) -> f64 {
+    let model = LinkModel::new(topology, RfConfig::indoor(), 1);
+    let db = LinkDb::from_link_model(&model);
+    let mut manager = NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
+    // Sources: the farthest field devices (multi-hop flows, as in the
+    // paper's workloads).
+    let mut sources = topology.field_devices();
+    sources.reverse();
+    sources.truncate(flows);
+    manager
+        .full_update(&sources, 1000)
+        .expect("schedulable")
+        .total_secs()
+}
+
+fn main() {
+    println!(
+        "{}",
+        figure_header(
+            "Fig. 3",
+            "WirelessHART Network Manager route/schedule update time"
+        )
+    );
+    let rows = vec![
+        ("Half Testbed A (20)".to_string(), update_time(&Topology::testbed_a_half(), 8)),
+        ("Full Testbed A (50)".to_string(), update_time(&Topology::testbed_a(), 8)),
+        ("Half Testbed B (19)".to_string(), update_time(&Topology::testbed_b_half(), 6)),
+        ("Full Testbed B (44)".to_string(), update_time(&Topology::testbed_b(), 6)),
+    ];
+    println!("{}", bar_table("topology", "update (s)", &rows));
+    digs_bench::print_comparisons(&[
+        ("Half Testbed A update (s)", "203", rows[0].1),
+        ("Full Testbed A update (s)", "506", rows[1].1),
+        ("Half Testbed B update (s)", "191", rows[2].1),
+        ("Full Testbed B update (s)", "443", rows[3].1),
+    ]);
+}

@@ -1,0 +1,52 @@
+//! Fig. 12 — simulation study with 150 nodes + 2 access points in a
+//! 300 m × 300 m area (the paper's Cooja experiment): 20 flows @ 10 s,
+//! five disturbers toggling every 5 minutes.
+//!
+//! Paper headline numbers: DiGS +16.3% mean PDR; 53% vs 11% of flow sets
+//! ≥ 95% PDR; worst-case set PDR 86.7% vs 63.0%; median latency 1560 ms
+//! vs 1950 ms; duty cycle per received packet +0.056% for DiGS.
+
+use digs::experiment;
+use digs::scenarios;
+use digs_metrics::format::{cdf_table, figure_header};
+use digs_metrics::Cdf;
+
+fn main() {
+    let sets = digs_bench::sets(5);
+    let secs = digs_bench::secs(900);
+    println!(
+        "{}",
+        figure_header("Fig. 12", "150-node large-scale simulation: DiGS vs Orchestra")
+    );
+    let (digs_runs, orch_runs) = digs_bench::run_both(scenarios::large_scale, sets, secs);
+
+    let digs_pdr = Cdf::new(experiment::flow_set_pdrs(&digs_runs)).expect("runs");
+    let orch_pdr = Cdf::new(experiment::flow_set_pdrs(&orch_runs)).expect("runs");
+    println!("\n(a) CDF of flow-set PDR");
+    println!("{}", cdf_table(&[("digs", &digs_pdr), ("orchestra", &orch_pdr)], "pdr", 10));
+
+    let digs_lat = Cdf::new(experiment::all_latencies_ms(&digs_runs)).expect("deliveries");
+    let orch_lat = Cdf::new(experiment::all_latencies_ms(&orch_runs)).expect("deliveries");
+    println!("\n(b) CDF of end-to-end latency (ms)");
+    println!("{}", cdf_table(&[("digs", &digs_lat), ("orchestra", &orch_lat)], "ms", 10));
+
+    let digs_dc = Cdf::new(experiment::duty_cycle_samples(&digs_runs)).expect("runs");
+    let orch_dc = Cdf::new(experiment::duty_cycle_samples(&orch_runs)).expect("runs");
+    println!("\n(c) CDF of radio duty cycle per received packet (%/pkt)");
+    println!("{}", cdf_table(&[("digs", &digs_dc), ("orchestra", &orch_dc)], "%/pkt", 10));
+
+    digs_bench::print_comparisons(&[
+        ("DiGS mean PDR − Orchestra", "+0.163", digs_pdr.mean() - orch_pdr.mean()),
+        ("DiGS flow sets ≥ 95% PDR", "0.53", digs_pdr.fraction_at_or_above(0.95)),
+        ("Orchestra flow sets ≥ 95% PDR", "0.11", orch_pdr.fraction_at_or_above(0.95)),
+        ("DiGS worst-case set PDR", "0.867", digs_pdr.min()),
+        ("Orchestra worst-case set PDR", "0.630", orch_pdr.min()),
+        ("DiGS median latency (ms)", "1560", digs_lat.median()),
+        ("Orchestra median latency (ms)", "1950", orch_lat.median()),
+        (
+            "duty cycle/pkt DiGS − Orchestra (%)",
+            "+0.056",
+            digs_dc.mean() - orch_dc.mean(),
+        ),
+    ]);
+}

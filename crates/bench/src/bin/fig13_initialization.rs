@@ -1,0 +1,61 @@
+//! Fig. 13 — network initialization: CDF of the time each of the 50
+//! Testbed A nodes needs to join the network (synchronize and select its
+//! preferred parent(s)) under DiGS and Orchestra.
+//!
+//! Paper: DiGS max 24.1 s vs Orchestra 23.0 s; means 15.4 s vs 14.3 s —
+//! DiGS pays slightly more because every node selects one extra parent.
+
+use digs::config::Protocol;
+use digs::scenarios;
+use digs_metrics::format::{cdf_table, figure_header};
+use digs_metrics::Cdf;
+
+fn main() {
+    let sets = digs_bench::sets(8);
+    let secs = digs_bench::secs(120);
+    println!(
+        "{}",
+        figure_header("Fig. 13", "Network initialization: per-node joining time CDF")
+    );
+
+    let mut samples = Vec::new();
+    for protocol in [Protocol::Digs, Protocol::Orchestra] {
+        let runs =
+            digs_bench::run_seeds(move |seed| scenarios::initialization(protocol, seed), sets, secs);
+        // Exclude the access points (they are joined at t = 0 by
+        // definition) and average the joining fraction.
+        let join_times: Vec<f64> = runs
+            .iter()
+            .flat_map(|r| r.join_times_secs())
+            .filter(|t| *t > 0.0)
+            .collect();
+        let joined_frac: f64 =
+            runs.iter().map(|r| r.fraction_joined()).sum::<f64>() / runs.len() as f64;
+        println!(
+            "{}: {} joins observed, joined fraction {:.3}",
+            protocol.name(),
+            join_times.len(),
+            joined_frac
+        );
+        samples.push((protocol, Cdf::new(join_times).expect("joins observed")));
+    }
+
+    let digs_cdf = &samples[0].1;
+    let orch_cdf = &samples[1].1;
+    println!();
+    println!(
+        "{}",
+        cdf_table(&[("digs", digs_cdf), ("orchestra", orch_cdf)], "join (s)", 10)
+    );
+    digs_bench::print_comparisons(&[
+        ("DiGS mean join time (s)", "15.4", digs_cdf.mean()),
+        ("Orchestra mean join time (s)", "14.3", orch_cdf.mean()),
+        ("DiGS max join time (s)", "24.1", digs_cdf.max()),
+        ("Orchestra max join time (s)", "23.0", orch_cdf.max()),
+        (
+            "join-time penalty of DiGS (s, mean)",
+            "+1.1",
+            digs_cdf.mean() - orch_cdf.mean(),
+        ),
+    ]);
+}

@@ -1,0 +1,125 @@
+//! Shared harness for the per-figure benchmark binaries (`src/bin/`).
+//!
+//! Every binary regenerates one table or figure from the paper's
+//! evaluation: it runs the corresponding scenario for a number of flow
+//! sets, prints the same series the paper plots, and closes with a
+//! paper-vs-measured comparison block for EXPERIMENTS.md.
+//!
+//! Scale knobs (the paper uses 300/220/300 flow sets; the defaults here
+//! are sized for a laptop run):
+//!
+//! - `DIGS_SETS` — number of flow-set repetitions per protocol;
+//! - `DIGS_SECS` — simulated seconds per run.
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::results::RunResults;
+use std::sync::mpsc;
+use std::thread;
+
+/// Number of flow sets to run, from `DIGS_SETS` (default `default`).
+pub fn sets(default: u64) -> u64 {
+    std::env::var("DIGS_SETS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Simulated seconds per run, from `DIGS_SECS` (default `default`).
+pub fn secs(default: u64) -> u64 {
+    std::env::var("DIGS_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `scenario(seed)` for seeds `1..=sets`, fanned out over the
+/// available cores, each for `run_secs` simulated seconds.
+pub fn run_seeds(
+    scenario: impl Fn(u64) -> NetworkConfig + Send + Sync + Clone + 'static,
+    sets: u64,
+    run_secs: u64,
+) -> Vec<RunResults> {
+    let workers = thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(sets.max(1) as usize);
+    let (task_tx, task_rx) = mpsc::channel::<u64>();
+    let task_rx = std::sync::Arc::new(std::sync::Mutex::new(task_rx));
+    let (res_tx, res_rx) = mpsc::channel::<(u64, RunResults)>();
+    for seed in 1..=sets {
+        task_tx.send(seed).expect("queue open");
+    }
+    drop(task_tx);
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let task_rx = std::sync::Arc::clone(&task_rx);
+        let res_tx = res_tx.clone();
+        let scenario = scenario.clone();
+        handles.push(thread::spawn(move || loop {
+            let seed = {
+                let guard = task_rx.lock().expect("not poisoned");
+                match guard.recv() {
+                    Ok(s) => s,
+                    Err(_) => break,
+                }
+            };
+            let results = digs::experiment::run_for(scenario(seed), run_secs);
+            if res_tx.send((seed, results)).is_err() {
+                break;
+            }
+        }));
+    }
+    drop(res_tx);
+    let mut collected: Vec<(u64, RunResults)> = res_rx.into_iter().collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    collected.sort_by_key(|(seed, _)| *seed);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs a scenario for both protocols; returns `(digs, orchestra)`.
+pub fn run_both(
+    scenario: impl Fn(Protocol, u64) -> NetworkConfig + Send + Sync + Clone + 'static,
+    sets: u64,
+    run_secs: u64,
+) -> (Vec<RunResults>, Vec<RunResults>) {
+    let s1 = scenario.clone();
+    let digs = run_seeds(move |seed| s1(Protocol::Digs, seed), sets, run_secs);
+    let orchestra = run_seeds(move |seed| scenario(Protocol::Orchestra, seed), sets, run_secs);
+    (digs, orchestra)
+}
+
+/// Prints the standard paper-vs-measured closing block.
+pub fn print_comparisons(rows: &[(&str, &str, f64)]) {
+    println!();
+    println!("paper vs measured");
+    println!("{}", "-".repeat(72));
+    for (metric, paper, measured) in rows {
+        println!("{}", digs_metrics::format::compare_row(metric, paper, *measured));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digs_sim::topology::Topology;
+
+    #[test]
+    fn env_knobs_default() {
+        assert_eq!(sets(7), 7);
+        assert_eq!(secs(60), 60);
+    }
+
+    #[test]
+    fn run_seeds_returns_one_result_per_seed() {
+        let scenario = |seed: u64| {
+            NetworkConfig::builder(Topology::testbed_a_half())
+                .protocol(Protocol::Digs)
+                .seed(seed)
+                .random_flows(1, 300, seed)
+                .build()
+        };
+        let results = run_seeds(scenario, 2, 30);
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! `digs-cli` — run DiGS / Orchestra networks from the command line.
+//!
+//! ```text
+//! digs-cli run [--topology T] [--protocol P] [--secs N] [--flows N]
+//!              [--period-ms N] [--jammers N] [--seed N] [--json]
+//! digs-cli topology [--topology T]
+//! digs-cli graph [--topology T] [--protocol P] [--secs N] [--seed N]
+//! digs-cli manager [--topology T] [--flows N]
+//! ```
+//!
+//! Topologies: `testbed-a` (default), `testbed-a-half`, `testbed-b`,
+//! `testbed-b-half`, `cooja`, or `random:<devices>:<side-m>`.
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::network::Network;
+use digs_sim::interference::Jammer;
+use digs_sim::position::Position;
+use digs_sim::rf::RfConfig;
+use digs_sim::time::Asn;
+use digs_sim::topology::Topology;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut options = BTreeMap::new();
+    let mut json = false;
+    while let Some(flag) = argv.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument `{flag}`\n{}", usage()))?;
+        let value = argv
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        options.insert(name.to_string(), value);
+    }
+    Ok(Args { command, options, json })
+}
+
+fn usage() -> String {
+    "usage: digs-cli <run|topology|graph|manager> [--topology T] [--protocol P] \
+     [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]"
+        .to_string()
+}
+
+fn topology_from(name: &str) -> Result<Topology, String> {
+    match name {
+        "testbed-a" => Ok(Topology::testbed_a()),
+        "testbed-a-half" => Ok(Topology::testbed_a_half()),
+        "testbed-b" => Ok(Topology::testbed_b()),
+        "testbed-b-half" => Ok(Topology::testbed_b_half()),
+        "cooja" => Ok(Topology::cooja_150(7)),
+        other => {
+            if let Some(spec) = other.strip_prefix("random:") {
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 2 {
+                    return Err("random topology spec is random:<devices>:<side-m>".into());
+                }
+                let n: usize = parts[0].parse().map_err(|e| format!("bad device count: {e}"))?;
+                let side: f64 = parts[1].parse().map_err(|e| format!("bad side length: {e}"))?;
+                Ok(Topology::random_area(n, side, 7))
+            } else {
+                Err(format!("unknown topology `{other}`"))
+            }
+        }
+    }
+}
+
+fn get<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.options.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+    }
+}
+
+fn build_network(args: &Args) -> Result<Network, String> {
+    let topology = topology_from(
+        args.options.get("topology").map_or("testbed-a", String::as_str),
+    )?;
+    let protocol = match args.options.get("protocol").map_or("digs", String::as_str) {
+        "digs" => Protocol::Digs,
+        "orchestra" => Protocol::Orchestra,
+        "wirelesshart" => Protocol::WirelessHart,
+        other => {
+            return Err(format!(
+                "unknown protocol `{other}` (digs|orchestra|wirelesshart)"
+            ))
+        }
+    };
+    let seed: u64 = get(args, "seed", 1)?;
+    let flows: usize = get(args, "flows", 4)?;
+    let period_ms: u64 = get(args, "period-ms", 5000)?;
+    let jammers: usize = get(args, "jammers", 0)?;
+
+    let rf = if topology.name().starts_with("random") || topology.name().starts_with("cooja") {
+        RfConfig::open_area()
+    } else {
+        RfConfig::indoor()
+    };
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .rf(rf)
+        .seed(seed)
+        .random_flows(flows, period_ms / 10, seed);
+    for i in 0..jammers {
+        let pos = Position::new(12.0 + 14.0 * i as f64, 8.0 + 5.0 * i as f64);
+        builder = builder.jammer(Jammer::wifi(
+            pos,
+            [1u8, 6, 11][i % 3],
+            Asn::from_secs(60),
+        ));
+    }
+    Ok(Network::new(builder.build()))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let secs: u64 = get(args, "secs", 300)?;
+    let mut network = build_network(args)?;
+    network.run_secs(secs);
+    let results = network.results();
+    if args.json {
+        let out = serde_json::to_string_pretty(&results)
+            .map_err(|e| format!("serialization failed: {e}"))?;
+        println!("{out}");
+        return Ok(());
+    }
+    println!("protocol        : {}", network.config().protocol.name());
+    println!("topology        : {}", network.config().topology.name());
+    println!("simulated       : {secs} s");
+    println!("joined fraction : {:.3}", results.fraction_joined());
+    println!("network PDR     : {:.3}", results.network_pdr());
+    println!("worst flow PDR  : {:.3}", results.worst_flow_pdr());
+    if let Some(lat) = results.median_latency_ms() {
+        println!("median latency  : {lat:.0} ms");
+    }
+    println!("power/packet    : {:.4} mW", results.power_per_received_packet_mw());
+    println!("parent changes  : {}", results.parent_change_times.len());
+    println!("drops           : {} retry, {} queue", results.retry_drops, results.queue_drops);
+    for flow in &results.flows {
+        println!(
+            "  {} src {}: {}/{} (PDR {:.2})",
+            flow.flow, flow.source, flow.delivered, flow.generated, flow.pdr()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    let topology = topology_from(
+        args.options.get("topology").map_or("testbed-a", String::as_str),
+    )?;
+    println!("name          : {}", topology.name());
+    println!("nodes         : {}", topology.len());
+    println!("access points : {:?}", topology.access_points().iter().map(|a| a.0).collect::<Vec<_>>());
+    // Link census from the mean-RSS oracle.
+    let rf = RfConfig::indoor();
+    let mut usable = 0u32;
+    let mut total = 0u32;
+    for a in topology.node_ids() {
+        for b in topology.node_ids() {
+            if a < b {
+                total += 1;
+                let rss = rf.mean_rss(topology.distance(a, b));
+                if rss.dbm() >= digs_sim::rf::RSS_MIN.dbm() {
+                    usable += 1;
+                }
+            }
+        }
+    }
+    println!("usable links  : {usable} of {total} pairs (mean-RSS ≥ RSSmin)");
+    let mean_degree = 2.0 * f64::from(usable) / topology.len() as f64;
+    println!("mean degree   : {mean_degree:.1}");
+    Ok(())
+}
+
+fn cmd_graph(args: &Args) -> Result<(), String> {
+    let secs: u64 = get(args, "secs", 150)?;
+    let mut network = build_network(args)?;
+    network.run_secs(secs);
+    let graph = network.routing_graph();
+    println!(
+        "after {secs} s: joined {:.0}%, backup coverage {:.0}%, DAG: {}, reachable: {}",
+        graph.fraction_joined() * 100.0,
+        graph.fraction_with_backup() * 100.0,
+        graph.is_dag(),
+        graph.all_reachable()
+    );
+    for node in graph.nodes() {
+        let e = graph.entry(node).expect("recorded");
+        println!(
+            "  {node}: {} best={} second={}",
+            e.rank,
+            e.best.map_or("-".to_string(), |p| p.to_string()),
+            e.second.map_or("-".to_string(), |p| p.to_string()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_manager(args: &Args) -> Result<(), String> {
+    use digs_sim::link::LinkModel;
+    use digs_whart::{LinkDb, NetworkManager, UpdateCostConfig};
+    let topology = topology_from(
+        args.options.get("topology").map_or("testbed-a", String::as_str),
+    )?;
+    let flows: usize = get(args, "flows", 8)?;
+    let model = LinkModel::new(&topology, RfConfig::indoor(), 1);
+    let db = LinkDb::from_link_model(&model);
+    let mut manager = NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
+    let mut sources = topology.field_devices();
+    sources.reverse();
+    sources.truncate(flows);
+    let report = manager
+        .full_update(&sources, 1000)
+        .map_err(|e| format!("scheduling failed: {e}"))?;
+    println!("centralized WirelessHART update cycle for {}:", topology.name());
+    println!("  {report}");
+    let schedule = manager.schedule().expect("just computed");
+    println!("  schedule cells: {}", schedule.cells().len());
+    println!("  conflict-free : {}", schedule.is_conflict_free());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "topology" => cmd_topology(&args),
+        "graph" => cmd_graph(&args),
+        "manager" => cmd_manager(&args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

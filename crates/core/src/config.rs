@@ -1,0 +1,228 @@
+//! Network run configuration.
+
+use crate::flows::{self, FlowSpec};
+use digs_routing::RoutingConfig;
+use digs_scheduling::SlotframeLengths;
+use digs_sim::fault::FaultPlan;
+use digs_sim::ids::NodeId;
+use digs_sim::interference::Jammer;
+use digs_sim::rf::RfConfig;
+use digs_sim::topology::Topology;
+
+/// Which protocol suite the network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Protocol {
+    /// The paper's contribution: distributed graph routing + autonomous
+    /// scheduling.
+    Digs,
+    /// The baseline: Orchestra scheduling over RPL.
+    Orchestra,
+    /// The centralized baseline: devices execute a schedule computed by
+    /// the WirelessHART Network Manager (static during the run; the
+    /// manager's reaction-time cost is modelled by `digs-whart`).
+    WirelessHart,
+}
+
+impl Protocol {
+    /// Short lowercase name for table labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Digs => "digs",
+            Protocol::Orchestra => "orchestra",
+            Protocol::WirelessHart => "wirelesshart",
+        }
+    }
+}
+
+/// Complete configuration of one simulated network run.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Device placement.
+    pub topology: Topology,
+    /// Propagation environment.
+    pub rf: RfConfig,
+    /// Master seed (drives the channel realisation and every stack).
+    pub seed: u64,
+    /// Protocol suite under test.
+    pub protocol: Protocol,
+    /// Slotframe lengths (the paper uses 557/47/151 everywhere).
+    pub slotframes: SlotframeLengths,
+    /// Routing-layer tuning.
+    pub routing: RoutingConfig,
+    /// Scheduled transmission attempts per packet per slotframe (DiGS `A`).
+    pub attempts: u8,
+    /// The data flows to run.
+    pub flows: Vec<FlowSpec>,
+    /// Interference sources.
+    pub jammers: Vec<Jammer>,
+    /// Node-failure schedule.
+    pub faults: FaultPlan,
+    /// Per-node application queue capacity.
+    pub queue_capacity: usize,
+    /// Application slotframe cycles a packet may spend at one hop before
+    /// being dropped (total link-layer persistence).
+    pub max_cycles: u8,
+}
+
+impl NetworkConfig {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder(topology: Topology) -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            config: NetworkConfig {
+                topology,
+                rf: RfConfig::indoor(),
+                seed: 1,
+                protocol: Protocol::Digs,
+                slotframes: SlotframeLengths::paper(),
+                routing: RoutingConfig::default(),
+                attempts: 3,
+                flows: Vec::new(),
+                jammers: Vec::new(),
+                faults: FaultPlan::none(),
+                // Contiki's queuebuf default: 8 packets per node.
+                queue_capacity: 8,
+                max_cycles: 3,
+            },
+        }
+    }
+}
+
+/// Builder for [`NetworkConfig`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    config: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    /// Sets the protocol suite.
+    ///
+    /// For [`Protocol::Orchestra`] this also calibrates the RPL parent
+    /// failure threshold upward (16 consecutive losses): Contiki's RPL
+    /// accumulates link statistics over many transmissions before reacting,
+    /// which is what gives Orchestra its measured 20–95 s repair times in
+    /// the paper's Fig. 4. Call [`NetworkConfigBuilder::routing`] *after*
+    /// this to override.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.config.protocol = protocol;
+        if protocol == Protocol::Orchestra {
+            self.config.routing.parent_failure_threshold = 16;
+        }
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the propagation environment.
+    pub fn rf(mut self, rf: RfConfig) -> Self {
+        self.config.rf = rf;
+        self
+    }
+
+    /// Sets the slotframe lengths.
+    pub fn slotframes(mut self, lengths: SlotframeLengths) -> Self {
+        self.config.slotframes = lengths;
+        self
+    }
+
+    /// Sets routing-layer tuning.
+    pub fn routing(mut self, routing: RoutingConfig) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Sets the scheduled attempts per packet (DiGS `A`).
+    pub fn attempts(mut self, attempts: u8) -> Self {
+        self.config.attempts = attempts;
+        self
+    }
+
+    /// Installs an explicit flow set.
+    pub fn flows(mut self, flows: Vec<FlowSpec>) -> Self {
+        self.config.flows = flows;
+        self
+    }
+
+    /// Installs a flow set with the given sources and period (slots).
+    pub fn flows_from_sources(mut self, sources: &[NodeId], period: u64) -> Self {
+        self.config.flows = flows::flow_set_from_sources(sources, period);
+        self
+    }
+
+    /// Installs a deterministic random flow set.
+    pub fn random_flows(mut self, n: usize, period: u64, seed: u64) -> Self {
+        self.config.flows = flows::random_flow_set(&self.config.topology, n, period, seed);
+        self
+    }
+
+    /// Adds an interference source.
+    pub fn jammer(mut self, jammer: Jammer) -> Self {
+        self.config.jammers.push(jammer);
+        self
+    }
+
+    /// Installs the failure schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets the per-node queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets per-hop persistence in application slotframe cycles.
+    pub fn max_cycles(mut self, cycles: u8) -> Self {
+        self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slotframe lengths are invalid.
+    pub fn build(self) -> NetworkConfig {
+        self.config.slotframes.validate().expect("valid slotframes");
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = NetworkConfig::builder(Topology::testbed_a()).build();
+        assert_eq!(c.protocol, Protocol::Digs);
+        assert_eq!(c.slotframes, SlotframeLengths::paper());
+        assert_eq!(c.attempts, 3);
+        assert!(c.flows.is_empty());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = NetworkConfig::builder(Topology::testbed_a())
+            .protocol(Protocol::Orchestra)
+            .seed(9)
+            .random_flows(8, 500, 3)
+            .queue_capacity(8)
+            .build();
+        assert_eq!(c.protocol, Protocol::Orchestra);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.flows.len(), 8);
+        assert_eq!(c.queue_capacity, 8);
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Digs.name(), "digs");
+        assert_eq!(Protocol::Orchestra.name(), "orchestra");
+    }
+}

@@ -1,0 +1,267 @@
+//! Experiment runners: repeated flow-set runs and derived measurements.
+
+use crate::config::NetworkConfig;
+use crate::network::Network;
+use crate::results::RunResults;
+use digs_sim::time::Asn;
+
+/// Runs one configuration for `secs` simulated seconds and returns the
+/// results.
+pub fn run_for(config: NetworkConfig, secs: u64) -> RunResults {
+    let mut network = Network::new(config);
+    network.run_secs(secs);
+    network.results()
+}
+
+/// Runs `sets` flow-set experiments (seeded 1..=sets) built by `scenario`,
+/// each for `secs` simulated seconds.
+pub fn run_flow_sets(
+    scenario: impl Fn(u64) -> NetworkConfig,
+    sets: u64,
+    secs: u64,
+) -> Vec<RunResults> {
+    (1..=sets).map(|seed| run_for(scenario(seed), secs)).collect()
+}
+
+/// Extracts the paper's per-flow-set PDR samples from a batch of runs.
+pub fn flow_set_pdrs(runs: &[RunResults]) -> Vec<f64> {
+    runs.iter().map(RunResults::network_pdr).collect()
+}
+
+/// Extracts all end-to-end latencies (ms) across runs.
+pub fn all_latencies_ms(runs: &[RunResults]) -> Vec<f64> {
+    runs.iter().flat_map(RunResults::all_latencies_ms).collect()
+}
+
+/// Extracts power-per-received-packet samples (mW), skipping runs that
+/// delivered nothing (infinite power).
+pub fn power_per_packet_samples(runs: &[RunResults]) -> Vec<f64> {
+    runs.iter()
+        .map(RunResults::power_per_received_packet_mw)
+        .filter(|p| p.is_finite())
+        .collect()
+}
+
+/// Extracts duty-cycle-per-received-packet samples (percent/packet).
+pub fn duty_cycle_samples(runs: &[RunResults]) -> Vec<f64> {
+    runs.iter()
+        .map(RunResults::duty_cycle_per_received_packet)
+        .filter(|p| p.is_finite())
+        .collect()
+}
+
+/// Extracts repair times (seconds) for an event at `event`, using a
+/// `settle_secs` quiet window, skipping runs with no repair activity.
+pub fn repair_times_secs(runs: &[RunResults], event: Asn, settle_secs: u64) -> Vec<f64> {
+    runs.iter()
+        .filter_map(|r| r.repair_time_secs(event, settle_secs * 100))
+        .collect()
+}
+
+/// Variant of [`run_node_failure`] with a pre-determined victim list: the
+/// paper turns off the *same* four routing-graph nodes for both protocols,
+/// so the comparison binary derives victims once (from a DiGS pilot run)
+/// and applies them to both.
+pub fn run_node_failure_with_victims(
+    config: NetworkConfig,
+    victims: &[digs_sim::ids::NodeId],
+    failure_start_secs: u64,
+    each_secs: u64,
+    total_secs: u64,
+) -> RunResults {
+    assert!(failure_start_secs < total_secs, "failures must start before the run ends");
+    let mut network = Network::new(config);
+    network.run_secs(failure_start_secs);
+    let plan = digs_sim::fault::FaultPlan::in_turn(
+        victims,
+        Asn::from_secs(failure_start_secs),
+        each_secs,
+    );
+    network.set_fault_plan(plan);
+    network.run_secs(total_secs - failure_start_secs);
+    network.results()
+}
+
+/// Outcome of a node-failure run: results plus the nodes that were failed.
+#[derive(Debug, Clone)]
+pub struct FailureRunOutcome {
+    /// The run's metrics.
+    pub results: RunResults,
+    /// The relays that were switched off, in order.
+    pub victims: Vec<digs_sim::ids::NodeId>,
+}
+
+/// Runs the paper's Fig. 11 node-failure experiment: the network forms and
+/// carries traffic normally until `failure_start_secs`, then the current
+/// best parents of the flow sources — genuine relays *on the live routing
+/// graph* — are switched off in turn, `each_secs` apiece, and the run
+/// continues to `total_secs`.
+pub fn run_node_failure(
+    config: NetworkConfig,
+    failure_start_secs: u64,
+    each_secs: u64,
+    total_secs: u64,
+    victims_wanted: usize,
+) -> FailureRunOutcome {
+    assert!(failure_start_secs < total_secs, "failures must start before the run ends");
+    let mut network = Network::new(config);
+    network.run_secs(failure_start_secs);
+
+    // Victims: field devices on the flows' live forwarding paths (walk
+    // each source's primary-parent chain toward the access points).
+    let sources: Vec<digs_sim::ids::NodeId> =
+        network.config().flows.iter().map(|f| f.source).collect();
+    let topology = network.config().topology.clone();
+    let mut victims = Vec::new();
+    for src in &sources {
+        let mut node = *src;
+        for _hop in 0..10 {
+            let (best, second) = network.stacks()[node.index()].parents();
+            let Some(next) = best else { break };
+            for candidate in [Some(next), second].into_iter().flatten() {
+                if !topology.is_access_point(candidate)
+                    && !sources.contains(&candidate)
+                    && !victims.contains(&candidate)
+                {
+                    victims.push(candidate);
+                }
+            }
+            if topology.is_access_point(next) {
+                break;
+            }
+            node = next;
+        }
+    }
+    victims.truncate(victims_wanted);
+
+    let plan = digs_sim::fault::FaultPlan::in_turn(
+        &victims,
+        Asn::from_secs(failure_start_secs),
+        each_secs,
+    );
+    network.set_fault_plan(plan);
+    network.run_secs(total_secs - failure_start_secs);
+    FailureRunOutcome { results: network.results(), victims }
+}
+
+/// Runs the centralized baseline through a relay failure *including* the
+/// manager's recovery: the relay dies at `failure_start_secs`, the manager
+/// detects it, runs a full update cycle (whose duration comes from the
+/// Fig. 3 cost model), and re-provisions the network with a schedule that
+/// routes around the dead relay. Returns the results and the modelled
+/// update delay in seconds.
+///
+/// # Panics
+///
+/// Panics if the config is not [`crate::config::Protocol::WirelessHart`]
+/// or the flows cannot be (re)scheduled.
+pub fn run_whart_with_recovery(
+    config: NetworkConfig,
+    victim: digs_sim::ids::NodeId,
+    failure_start_secs: u64,
+    total_secs: u64,
+) -> (RunResults, f64) {
+    assert_eq!(config.protocol, crate::config::Protocol::WirelessHart);
+    let sources: Vec<_> = config.flows.iter().map(|f| f.source).collect();
+    let superframe = config.flows.iter().map(|f| f.period).max().unwrap_or(500) as u32;
+
+    let mut network = Network::new(config);
+    // Model the manager's reaction with the Fig. 3 cost model.
+    let db = digs_whart::LinkDb::from_link_model(network.engine().link_model());
+    let mut manager = digs_whart::NetworkManager::new(
+        db,
+        network.config().topology.access_points(),
+        digs_whart::UpdateCostConfig::default(),
+    );
+    manager.full_update(&sources, superframe).expect("initial schedule");
+
+    network.run_secs(failure_start_secs);
+    network.set_fault_plan(digs_sim::fault::FaultPlan::none().with(
+        digs_sim::fault::Outage::permanent(victim, Asn::from_secs(failure_start_secs)),
+    ));
+    let report = manager
+        .on_node_failure(victim, &sources, superframe)
+        .expect("reroutable");
+    let delay_secs = report.total_secs().ceil() as u64;
+
+    // The network limps on the stale schedule until the update lands.
+    let recovery_at = failure_start_secs + delay_secs;
+    if recovery_at < total_secs {
+        network.run_secs(recovery_at - failure_start_secs);
+        network
+            .reprovision_wirelesshart(manager.schedule().expect("recomputed"));
+        network.run_secs(total_secs - recovery_at);
+    } else {
+        network.run_secs(total_secs - failure_start_secs);
+    }
+    (network.results(), report.total_secs())
+}
+
+/// The Fig. 9f / 11b micro-benchmark: per-flow delivery success of packets
+/// with sequence numbers in `[from, to]`. Returns one row per flow:
+/// `(flow index, Vec<(seq, delivered)>)`.
+pub fn delivery_microbench(
+    results: &RunResults,
+    from: u32,
+    to: u32,
+) -> Vec<(u16, Vec<(u32, bool)>)> {
+    results
+        .flows
+        .iter()
+        .map(|f| {
+            let rows = (from..=to)
+                .map(|seq| (seq, f.seq_delivered(seq) && seq < f.generated))
+                .collect();
+            (f.flow.0, rows)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::flows::flow_set_from_sources;
+    use digs_sim::ids::NodeId;
+    use digs_sim::topology::Topology;
+
+    fn quick_scenario(seed: u64) -> NetworkConfig {
+        NetworkConfig::builder(Topology::testbed_a_half())
+            .protocol(Protocol::Digs)
+            .seed(seed)
+            .flows(flow_set_from_sources(&[NodeId(10), NodeId(15)], 300))
+            .build()
+    }
+
+    #[test]
+    fn flow_set_batches_produce_samples() {
+        let runs = run_flow_sets(quick_scenario, 2, 60);
+        assert_eq!(runs.len(), 2);
+        let pdrs = flow_set_pdrs(&runs);
+        assert_eq!(pdrs.len(), 2);
+        assert!(pdrs.iter().all(|p| (0.0..=1.0).contains(p)));
+        let lat = all_latencies_ms(&runs);
+        assert!(!lat.is_empty(), "some packets must be delivered");
+        assert!(lat.iter().all(|l| *l >= 0.0));
+    }
+
+    #[test]
+    fn power_samples_are_positive() {
+        let runs = run_flow_sets(quick_scenario, 1, 60);
+        let p = power_per_packet_samples(&runs);
+        assert_eq!(p.len(), 1);
+        assert!(p[0] > 0.0);
+        let d = duty_cycle_samples(&runs);
+        assert!(d[0] > 0.0);
+    }
+
+    #[test]
+    fn microbench_rows_cover_requested_range() {
+        let runs = run_flow_sets(quick_scenario, 1, 60);
+        let rows = delivery_microbench(&runs[0], 0, 5);
+        assert_eq!(rows.len(), 2);
+        for (_, seqs) in &rows {
+            assert_eq!(seqs.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Bounded per-node packet queues with drop accounting.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue; pushes beyond capacity drop the *newest* item
+/// (drop-tail, as Contiki's queuebuf does) and are counted.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue { items: VecDeque::with_capacity(capacity), capacity, drops: 0 }
+    }
+
+    /// Enqueues an item; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.drops += 1;
+            false
+        } else {
+            self.items.push_back(item);
+            true
+        }
+    }
+
+    /// A reference to the head item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Removes and returns the head item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Items dropped because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Retains only items matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.items.retain(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.front(), Some(&1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_newest() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i);
+        }
+        q.retain(|x| x % 2 == 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: BoundedQueue<i32> = BoundedQueue::new(0);
+    }
+}

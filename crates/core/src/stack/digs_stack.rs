@@ -1,0 +1,477 @@
+//! The full DiGS node stack: EB scanning → distributed graph routing →
+//! autonomous scheduling → data forwarding over primary and backup routes.
+
+use super::{
+    scan_offset, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
+    MAX_ROUTING_RETRIES,
+};
+use crate::flows::FlowSpec;
+use crate::payload::{DataPacket, Payload};
+use crate::queue::BoundedQueue;
+use digs_routing::messages::RoutingEvent;
+use digs_routing::{DigsRouting, Rank, RoutingConfig};
+use digs_scheduling::slotframe::CellAction;
+use digs_scheduling::{DigsScheduler, SlotframeLengths};
+use digs_sim::engine::{NodeStack, SlotIntent, TxOutcome};
+use digs_sim::ids::NodeId;
+use digs_sim::packet::{Dest, Frame};
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+
+/// The DiGS protocol stack for one node.
+#[derive(Debug)]
+pub struct DigsStack {
+    id: NodeId,
+    is_ap: bool,
+    routing: DigsRouting,
+    scheduler: DigsScheduler,
+    flows: Vec<FlowSpec>,
+    app_queue: BoundedQueue<QueuedPacket>,
+    routing_queue: BoundedQueue<QueuedRoutingMsg>,
+    /// When each registered child was last heard from (join-in, callback,
+    /// or data). Children are only unregistered on explicit revocation or
+    /// after an extended silence: over-listening costs idle-listen energy
+    /// (the overhead the paper acknowledges) but never loses packets.
+    child_last_seen: std::collections::BTreeMap<NodeId, Asn>,
+    /// Whether the current second-best parent has confirmed (by ACKing a
+    /// callback or a data frame) that it holds our registration. Until
+    /// then, attempt-3 traffic is redirected to the primary parent — an
+    /// unregistered backup would silently eat every third attempt — and
+    /// the backup is probed on every fourth application cycle.
+    second_confirmed: bool,
+    max_cycles: u8,
+    synced_at: Option<Asn>,
+    last_tx: Option<LastTx>,
+    seq_next: u32,
+    telemetry: StackTelemetry,
+}
+
+impl DigsStack {
+    /// Builds the stack for node `id`. `flows` lists the flows this node
+    /// sources (usually zero or one).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        is_ap: bool,
+        num_aps: u16,
+        slotframes: SlotframeLengths,
+        attempts: u8,
+        routing_config: RoutingConfig,
+        flows: Vec<FlowSpec>,
+        queue_capacity: usize,
+        max_cycles: u8,
+        seed: u64,
+    ) -> DigsStack {
+        let mut telemetry = StackTelemetry::default();
+        if is_ap {
+            // Access points are synchronized roots from the start.
+            telemetry.synced_at = Some(Asn::ZERO);
+            telemetry.joined_at = Some(Asn::ZERO);
+        }
+        DigsStack {
+            id,
+            is_ap,
+            routing: DigsRouting::new(id, is_ap, routing_config, seed, Asn::ZERO),
+            scheduler: DigsScheduler::new(id, num_aps, slotframes, attempts),
+            flows,
+            app_queue: BoundedQueue::new(queue_capacity),
+            routing_queue: BoundedQueue::new(queue_capacity),
+            child_last_seen: std::collections::BTreeMap::new(),
+            second_confirmed: false,
+            max_cycles,
+            synced_at: if is_ap { Some(Asn::ZERO) } else { None },
+            last_tx: None,
+            seq_next: 0,
+            telemetry,
+        }
+    }
+
+    /// Harness telemetry.
+    pub fn telemetry(&self) -> &StackTelemetry {
+        &self.telemetry
+    }
+
+    /// Current `(best, second)` parents.
+    pub fn parents(&self) -> (Option<NodeId>, Option<NodeId>) {
+        (self.routing.best_parent(), self.routing.second_best_parent())
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> Rank {
+        self.routing.rank()
+    }
+
+    /// Whether the node is synchronized and attached to the graph.
+    pub fn is_joined(&self) -> bool {
+        self.synced_at.is_some() && self.routing.is_joined()
+    }
+
+    /// Read access to the routing state machine (snapshots, assertions).
+    pub fn routing(&self) -> &DigsRouting {
+        &self.routing
+    }
+
+    /// Read access to the autonomous scheduler (schedule inspection).
+    pub fn scheduler(&self) -> &DigsScheduler {
+        &self.scheduler
+    }
+
+    /// Application queue length (congestion diagnostics).
+    pub fn app_queue_len(&self) -> usize {
+        self.app_queue.len()
+    }
+
+    fn process_routing_events(&mut self, events: Vec<RoutingEvent>, asn: Asn) {
+        for event in events {
+            match event {
+                RoutingEvent::BroadcastJoinIn(msg) => {
+                    // Keep only the freshest join-in in the queue.
+                    self.routing_queue
+                        .retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
+                    self.routing_queue.push(QueuedRoutingMsg {
+                        dest: Dest::Broadcast,
+                        payload: Payload::JoinIn(msg),
+                        retries: 0,
+                    });
+                }
+                RoutingEvent::SendJoinedCallback { to, callback } => {
+                    self.routing_queue.push(QueuedRoutingMsg {
+                        dest: Dest::Unicast(to),
+                        payload: Payload::JoinedCallback(callback),
+                        retries: 0,
+                    });
+                }
+                RoutingEvent::BroadcastDio(_) => {
+                    debug_assert!(false, "DiGS routing never emits DIOs");
+                }
+                RoutingEvent::ParentsChanged { best, second } => {
+                    if second != self.routing.second_best_parent() || second.is_none() {
+                        // (routing already updated itself; compare against
+                        // the scheduler's previous view instead)
+                    }
+                    self.second_confirmed = false;
+                    self.scheduler.set_parents(best, second);
+                    self.telemetry.parent_changes.push(asn);
+                    if self.telemetry.joined_at.is_none() && best.is_some() {
+                        self.telemetry.joined_at = Some(asn);
+                    }
+                    // Announce the new parent set at the next shared slot
+                    // without waiting for the Trickle firing point: until
+                    // the new parents hear it (or the callback), their
+                    // schedules lack our receive cells.
+                    if best.is_some() {
+                        self.routing_queue
+                            .retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
+                        self.routing_queue.push(QueuedRoutingMsg {
+                            dest: Dest::Broadcast,
+                            payload: Payload::JoinIn(self.routing.join_in()),
+                            retries: 0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks the actual next hop for a data cell: the backup route is only
+    /// used once its registration is confirmed; before that, attempt-A
+    /// cells go to the primary, with a probe toward the backup every
+    /// fourth application cycle (the primary listens in all of our attempt
+    /// cells, so the redirect always has a receiver).
+    fn resolve_data_target(&self, scheduled: NodeId, attempt: u8, asn: Asn) -> NodeId {
+        if attempt < self.scheduler.attempts() {
+            return scheduled;
+        }
+        let second = self.routing.second_best_parent();
+        if Some(scheduled) != second || self.second_confirmed {
+            return scheduled;
+        }
+        let cycle = asn.0 / u64::from(self.scheduler.lengths().app);
+        let probing = cycle % 4 == 0;
+        if probing {
+            scheduled
+        } else {
+            self.routing.best_parent().unwrap_or(scheduled)
+        }
+    }
+
+    fn generate_app_packets(&mut self, asn: Asn) {
+        // Sources generate according to their flow schedule regardless of
+        // join state (undeliverable packets count against PDR, as on the
+        // testbeds).
+        for i in 0..self.flows.len() {
+            let flow = self.flows[i];
+            if flow.generates_at(asn) {
+                let packet = DataPacket {
+                    flow: flow.id,
+                    seq: self.seq_next,
+                    origin: self.id,
+                    generated_at: asn,
+                };
+                self.seq_next += 1;
+                *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                if !self.app_queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
+                    self.telemetry.queue_drops += 1;
+                }
+            }
+        }
+    }
+}
+
+impl NodeStack for DigsStack {
+    type Payload = Payload;
+
+    fn slot_intent(&mut self, asn: Asn) -> SlotIntent<Payload> {
+        self.last_tx = None;
+        self.generate_app_packets(asn);
+
+        // Unsynchronised nodes park on a scan channel waiting for an EB.
+        if self.synced_at.is_none() {
+            return SlotIntent::Listen { offset: scan_offset(asn) };
+        }
+
+        // Routing housekeeping (Trickle, eviction).
+        let events = self.routing.tick(asn);
+        self.process_routing_events(events, asn);
+
+        // Garbage-collect children not heard from in three Trickle maximum
+        // intervals (192 s) — long enough that a child whose join-ins are
+        // paced at Imax is never evicted while alive.
+        if asn.0 % 64 == 0 && !self.child_last_seen.is_empty() {
+            let horizon = asn.0.saturating_sub(19_200);
+            let stale: Vec<NodeId> = self
+                .child_last_seen
+                .iter()
+                .filter(|(_, seen)| seen.0 < horizon)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stale {
+                self.child_last_seen.remove(&id);
+                self.scheduler.remove_child(id);
+            }
+        }
+
+        let Some(cell) = self.scheduler.cell(asn) else {
+            return SlotIntent::Sleep;
+        };
+        match cell.action {
+            CellAction::TxBeacon => {
+                self.last_tx = Some(LastTx::Beacon);
+                SlotIntent::Transmit {
+                    offset: cell.offset,
+                    frame: Frame::new(
+                        self.id,
+                        Dest::Broadcast,
+                        Payload::Eb.frame_kind(),
+                        Payload::Eb.frame_size(),
+                        Payload::Eb,
+                    ),
+                    contention: cell.contention,
+                }
+            }
+            CellAction::RxBeacon { .. } | CellAction::RxData => {
+                SlotIntent::Listen { offset: cell.offset }
+            }
+            CellAction::Shared => match self.routing_queue.front() {
+                Some(msg) => {
+                    let (dest, payload) = (msg.dest, msg.payload.clone());
+                    self.last_tx = Some(match dest {
+                        Dest::Broadcast => LastTx::RoutingBroadcast,
+                        Dest::Unicast(to) => LastTx::RoutingUnicast { to },
+                    });
+                    SlotIntent::Transmit {
+                        offset: cell.offset,
+                        frame: Frame::new(
+                            self.id,
+                            dest,
+                            payload.frame_kind(),
+                            payload.frame_size(),
+                            payload,
+                        ),
+                        contention: true,
+                    }
+                }
+                None => SlotIntent::Listen { offset: cell.offset },
+            },
+            CellAction::TxData { to, attempt } => {
+                let to = self.resolve_data_target(to, attempt, asn);
+                match self.app_queue.front() {
+                    Some(item) => {
+                        let payload = Payload::Data(item.packet);
+                        self.last_tx = Some(LastTx::Data { to });
+                        SlotIntent::Transmit {
+                            offset: cell.offset,
+                            frame: Frame::new(
+                                self.id,
+                                Dest::Unicast(to),
+                                payload.frame_kind(),
+                                payload.frame_size(),
+                                payload,
+                            ),
+                            contention: cell.contention,
+                        }
+                    }
+                    // A TX cell with an empty queue sleeps (TSCH semantics).
+                    None => SlotIntent::Sleep,
+                }
+            }
+        }
+    }
+
+    fn on_frame(&mut self, asn: Asn, frame: &Frame<Payload>, rss: Dbm) {
+        match &frame.payload {
+            Payload::Eb => {
+                // A scanning radio must acquire slot timing from the EB; in
+                // real TSCH association this fails more often than not (the
+                // mote wakes mid-beacon, or the timing offset exceeds the
+                // guard). Model a 25 percent association success per EB.
+                if self.synced_at.is_none()
+                    && digs_sim::rng::uniform01(u64::from(self.id.0) ^ 0xeb, asn.0, 3, 1) < 0.25
+                {
+                    self.synced_at = Some(asn);
+                    self.telemetry.synced_at = Some(asn);
+                }
+            }
+            Payload::JoinIn(msg) => {
+                if self.synced_at.is_some() {
+                    let events = self.routing.on_join_in(frame.src, msg, rss, asn);
+                    self.process_routing_events(events, asn);
+                    // Refresh the scheduler's child table from the parent
+                    // ids piggybacked on the join-in. Absence of our id is
+                    // NOT a removal — only explicit revocation or prolonged
+                    // silence unregisters a child; over-listening costs
+                    // idle-listen energy (the overhead the paper concedes)
+                    // but never loses a packet.
+                    if msg.best_parent == Some(self.id) {
+                        self.scheduler
+                            .add_child(frame.src, digs_routing::messages::ParentSlot::Best);
+                        self.child_last_seen.insert(frame.src, asn);
+                    } else if msg.second_parent == Some(self.id) {
+                        self.scheduler
+                            .add_child(frame.src, digs_routing::messages::ParentSlot::SecondBest);
+                        self.child_last_seen.insert(frame.src, asn);
+                    }
+                }
+            }
+            Payload::JoinedCallback(cb) => {
+                if frame.dst.addressed_to(self.id) && !matches!(frame.dst, Dest::Broadcast) {
+                    let events = self.routing.on_joined_callback(frame.src, cb, asn);
+                    if cb.selected {
+                        self.scheduler.add_child(frame.src, cb.slot);
+                        self.child_last_seen.insert(frame.src, asn);
+                    } else {
+                        self.scheduler.remove_child(frame.src);
+                        self.child_last_seen.remove(&frame.src);
+                    }
+                    self.process_routing_events(events, asn);
+                }
+            }
+            Payload::Dio(_) => {} // not ours; Orchestra traffic in mixed tests
+            Payload::Data(packet) => {
+                if !frame.dst.addressed_to(self.id) || matches!(frame.dst, Dest::Broadcast) {
+                    return;
+                }
+                // The frame's slot identifies the sender's attempt number
+                // (Eq. 4 is invertible), which tells us whether the sender
+                // uses us as its primary or backup parent — refresh the
+                // child table from actual traffic so a lost joined-callback
+                // cannot leave the schedule permanently asymmetric.
+                let app_off = asn.slotframe_offset(self.scheduler.lengths().app);
+                if let Some(p) = self.scheduler.infer_attempt(frame.src, app_off) {
+                    let role = if p < self.scheduler.attempts() {
+                        digs_routing::messages::ParentSlot::Best
+                    } else {
+                        digs_routing::messages::ParentSlot::SecondBest
+                    };
+                    self.scheduler.add_child(frame.src, role);
+                    self.child_last_seen.insert(frame.src, asn);
+                }
+                if self.is_ap {
+                    self.telemetry
+                        .deliveries
+                        .push(DeliveryRecord { packet: *packet, delivered_at: asn });
+                } else if !self
+                    .app_queue
+                    .push(QueuedPacket { packet: *packet, failed_attempts: 0 })
+                {
+                    self.telemetry.queue_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {
+        let Some(last) = self.last_tx.take() else {
+            return;
+        };
+        match last {
+            LastTx::Beacon => {}
+            LastTx::RoutingBroadcast => match outcome {
+                TxOutcome::SentBroadcast => {
+                    self.routing_queue.pop();
+                }
+                TxOutcome::DeferredCca => {} // retry at the next shared slot
+                _ => {}
+            },
+            LastTx::RoutingUnicast { to } => match outcome {
+                TxOutcome::Acked => {
+                    self.routing_queue.pop();
+                    if self.routing.second_best_parent() == Some(to) {
+                        self.second_confirmed = true;
+                    }
+                    let events = self.routing.on_tx_result(to, true, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::NoAck => {
+                    if let Some(front) = self.routing_queue.front() {
+                        if front.retries + 1 >= MAX_ROUTING_RETRIES {
+                            self.routing_queue.pop();
+                        } else if let Some(mut msg) = self.routing_queue.pop() {
+                            msg.retries += 1;
+                            self.routing_queue.push(msg);
+                        }
+                    }
+                    let events = self.routing.on_tx_result(to, false, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::DeferredCca => {}
+                TxOutcome::SentBroadcast => {}
+            },
+            LastTx::Data { to } => match outcome {
+                TxOutcome::Acked => {
+                    self.app_queue.pop();
+                    self.telemetry.forwarded += 1;
+                    if self.routing.second_best_parent() == Some(to) {
+                        self.second_confirmed = true;
+                    }
+                    let events = self.routing.on_tx_result(to, true, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::NoAck => {
+                    let budget =
+                        u16::from(self.scheduler.attempts()) * u16::from(self.max_cycles);
+                    if let Some(mut item) = self.app_queue.pop() {
+                        item.failed_attempts = item.failed_attempts.saturating_add(1);
+                        if u16::from(item.failed_attempts) >= budget {
+                            self.telemetry.retry_drops += 1;
+                        } else {
+                            // Head-of-line: retries keep FIFO position by
+                            // re-inserting at the front via rebuild.
+                            let mut rest: Vec<QueuedPacket> = Vec::with_capacity(self.app_queue.len());
+                            while let Some(p) = self.app_queue.pop() {
+                                rest.push(p);
+                            }
+                            self.app_queue.push(item);
+                            for p in rest {
+                                self.app_queue.push(p);
+                            }
+                        }
+                    }
+                    let events = self.routing.on_tx_result(to, false, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::DeferredCca | TxOutcome::SentBroadcast => {}
+            },
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The Orchestra baseline stack: EB scanning → RPL (single preferred
+//! parent) → Orchestra receiver-based scheduling.
+
+use super::{
+    scan_offset, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
+    MAX_ROUTING_RETRIES,
+};
+use crate::flows::FlowSpec;
+use crate::payload::{DataPacket, Payload};
+use crate::queue::BoundedQueue;
+use digs_routing::messages::RoutingEvent;
+use digs_routing::{Rank, RoutingConfig, RplRouting};
+use digs_scheduling::slotframe::CellAction;
+use digs_scheduling::{OrchestraScheduler, SlotframeLengths};
+use digs_sim::engine::{NodeStack, SlotIntent, TxOutcome};
+use digs_sim::ids::NodeId;
+use digs_sim::packet::{Dest, Frame};
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+
+/// Maximum link-layer transmissions of a data packet before Orchestra
+/// drops it (TSCH's default MAC retry budget).
+pub const MAX_DATA_RETRIES: u8 = 8;
+
+/// The Orchestra protocol stack for one node.
+#[derive(Debug)]
+pub struct OrchestraStack {
+    id: NodeId,
+    is_ap: bool,
+    routing: RplRouting,
+    scheduler: OrchestraScheduler,
+    flows: Vec<FlowSpec>,
+    app_queue: BoundedQueue<QueuedPacket>,
+    routing_queue: BoundedQueue<QueuedRoutingMsg>,
+    /// When each registered child was last heard from (sender-based
+    /// schedule: the parent's receive cells derive from this set).
+    child_last_seen: std::collections::BTreeMap<NodeId, Asn>,
+    synced_at: Option<Asn>,
+    last_tx: Option<LastTx>,
+    seq_next: u32,
+    telemetry: StackTelemetry,
+}
+
+impl OrchestraStack {
+    /// Builds the stack for node `id`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        is_ap: bool,
+        slotframes: SlotframeLengths,
+        routing_config: RoutingConfig,
+        flows: Vec<FlowSpec>,
+        queue_capacity: usize,
+        seed: u64,
+    ) -> OrchestraStack {
+        let mut telemetry = StackTelemetry::default();
+        if is_ap {
+            telemetry.synced_at = Some(Asn::ZERO);
+            telemetry.joined_at = Some(Asn::ZERO);
+        }
+        OrchestraStack {
+            id,
+            is_ap,
+            routing: RplRouting::new(id, is_ap, routing_config, seed, Asn::ZERO),
+            scheduler: OrchestraScheduler::new(id, slotframes),
+            flows,
+            app_queue: BoundedQueue::new(queue_capacity),
+            routing_queue: BoundedQueue::new(queue_capacity),
+            child_last_seen: std::collections::BTreeMap::new(),
+            synced_at: if is_ap { Some(Asn::ZERO) } else { None },
+            last_tx: None,
+            seq_next: 0,
+            telemetry,
+        }
+    }
+
+    /// Harness telemetry.
+    pub fn telemetry(&self) -> &StackTelemetry {
+        &self.telemetry
+    }
+
+    /// Current preferred parent.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.routing.preferred_parent()
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> Rank {
+        self.routing.rank()
+    }
+
+    /// Whether the node is synchronized and attached to the DODAG.
+    pub fn is_joined(&self) -> bool {
+        self.synced_at.is_some() && self.routing.is_joined()
+    }
+
+    /// Read access to the RPL state machine.
+    pub fn routing(&self) -> &RplRouting {
+        &self.routing
+    }
+
+    /// Application queue length (congestion diagnostics).
+    pub fn app_queue_len(&self) -> usize {
+        self.app_queue.len()
+    }
+
+    fn process_routing_events(&mut self, events: Vec<RoutingEvent>, asn: Asn) {
+        for event in events {
+            match event {
+                RoutingEvent::BroadcastDio(dio) => {
+                    self.routing_queue
+                        .retain(|m| !matches!(m.payload, Payload::Dio(_)));
+                    self.routing_queue.push(QueuedRoutingMsg {
+                        dest: Dest::Broadcast,
+                        payload: Payload::Dio(dio),
+                        retries: 0,
+                    });
+                }
+                RoutingEvent::ParentsChanged { best, .. } => {
+                    self.scheduler.set_parent(best);
+                    self.telemetry.parent_changes.push(asn);
+                    if self.telemetry.joined_at.is_none() && best.is_some() {
+                        self.telemetry.joined_at = Some(asn);
+                    }
+                }
+                RoutingEvent::BroadcastJoinIn(_) | RoutingEvent::SendJoinedCallback { .. } => {
+                    debug_assert!(false, "RPL never emits DiGS messages");
+                }
+            }
+        }
+    }
+
+    fn generate_app_packets(&mut self, asn: Asn) {
+        for i in 0..self.flows.len() {
+            let flow = self.flows[i];
+            if flow.generates_at(asn) {
+                let packet = DataPacket {
+                    flow: flow.id,
+                    seq: self.seq_next,
+                    origin: self.id,
+                    generated_at: asn,
+                };
+                self.seq_next += 1;
+                *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                if !self.app_queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
+                    self.telemetry.queue_drops += 1;
+                }
+            }
+        }
+    }
+}
+
+impl NodeStack for OrchestraStack {
+    type Payload = Payload;
+
+    fn slot_intent(&mut self, asn: Asn) -> SlotIntent<Payload> {
+        self.last_tx = None;
+        self.generate_app_packets(asn);
+
+        if self.synced_at.is_none() {
+            return SlotIntent::Listen { offset: scan_offset(asn) };
+        }
+
+        let events = self.routing.tick(asn);
+        self.process_routing_events(events, asn);
+
+        // Garbage-collect children not heard from in three Trickle maximum
+        // intervals (192 s).
+        if asn.0 % 64 == 0 && !self.child_last_seen.is_empty() {
+            let horizon = asn.0.saturating_sub(19_200);
+            let stale: Vec<NodeId> = self
+                .child_last_seen
+                .iter()
+                .filter(|(_, seen)| seen.0 < horizon)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stale {
+                self.child_last_seen.remove(&id);
+                self.scheduler.remove_child(id);
+            }
+        }
+
+        let Some(cell) = self.scheduler.cell(asn) else {
+            return SlotIntent::Sleep;
+        };
+        match cell.action {
+            CellAction::TxBeacon => {
+                self.last_tx = Some(LastTx::Beacon);
+                SlotIntent::Transmit {
+                    offset: cell.offset,
+                    frame: Frame::new(
+                        self.id,
+                        Dest::Broadcast,
+                        Payload::Eb.frame_kind(),
+                        Payload::Eb.frame_size(),
+                        Payload::Eb,
+                    ),
+                    contention: cell.contention,
+                }
+            }
+            CellAction::RxBeacon { .. } | CellAction::RxData => {
+                SlotIntent::Listen { offset: cell.offset }
+            }
+            CellAction::Shared => match self.routing_queue.front() {
+                Some(msg) => {
+                    let (dest, payload) = (msg.dest, msg.payload.clone());
+                    self.last_tx = Some(match dest {
+                        Dest::Broadcast => LastTx::RoutingBroadcast,
+                        Dest::Unicast(to) => LastTx::RoutingUnicast { to },
+                    });
+                    SlotIntent::Transmit {
+                        offset: cell.offset,
+                        frame: Frame::new(
+                            self.id,
+                            dest,
+                            payload.frame_kind(),
+                            payload.frame_size(),
+                            payload,
+                        ),
+                        contention: true,
+                    }
+                }
+                None => SlotIntent::Listen { offset: cell.offset },
+            },
+            CellAction::TxData { to, .. } => match self.app_queue.front() {
+                Some(item) => {
+                    let payload = Payload::Data(item.packet);
+                    self.last_tx = Some(LastTx::Data { to });
+                    SlotIntent::Transmit {
+                        offset: cell.offset,
+                        frame: Frame::new(
+                            self.id,
+                            Dest::Unicast(to),
+                            payload.frame_kind(),
+                            payload.frame_size(),
+                            payload,
+                        ),
+                        contention: cell.contention,
+                    }
+                }
+                // Orchestra's RBS: with nothing to send, the node still
+                // owns no rx duty here (its own rx cell is elsewhere).
+                None => SlotIntent::Sleep,
+            },
+        }
+    }
+
+    fn on_frame(&mut self, asn: Asn, frame: &Frame<Payload>, rss: Dbm) {
+        match &frame.payload {
+            Payload::Eb => {
+                // A scanning radio must acquire slot timing from the EB; in
+                // real TSCH association this fails more often than not (the
+                // mote wakes mid-beacon, or the timing offset exceeds the
+                // guard). Model a 25 percent association success per EB.
+                if self.synced_at.is_none()
+                    && digs_sim::rng::uniform01(u64::from(self.id.0) ^ 0xeb, asn.0, 3, 1) < 0.25
+                {
+                    self.synced_at = Some(asn);
+                    self.telemetry.synced_at = Some(asn);
+                }
+            }
+            Payload::Dio(dio) => {
+                if self.synced_at.is_some() {
+                    let events = self.routing.on_dio(frame.src, dio, rss, asn);
+                    self.process_routing_events(events, asn);
+                    // Orchestra's sender-based mode: RPL gives no reliable
+                    // child knowledge, so a node installs a receive cell
+                    // for *every* neighbor it hears — the listening
+                    // overhead that made receiver-based cells Orchestra's
+                    // default (SenSys'15, Section 4.3).
+                    self.scheduler.add_child(frame.src);
+                    self.child_last_seen.insert(frame.src, asn);
+                }
+            }
+            Payload::JoinIn(_) | Payload::JoinedCallback(_) => {}
+            Payload::Data(packet) => {
+                if !frame.dst.addressed_to(self.id) || matches!(frame.dst, Dest::Broadcast) {
+                    return;
+                }
+                // Observed traffic keeps the child registration fresh.
+                self.scheduler.add_child(frame.src);
+                self.child_last_seen.insert(frame.src, asn);
+                if self.is_ap {
+                    self.telemetry
+                        .deliveries
+                        .push(DeliveryRecord { packet: *packet, delivered_at: asn });
+                } else if !self
+                    .app_queue
+                    .push(QueuedPacket { packet: *packet, failed_attempts: 0 })
+                {
+                    self.telemetry.queue_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {
+        let Some(last) = self.last_tx.take() else {
+            return;
+        };
+        match last {
+            LastTx::Beacon => {}
+            LastTx::RoutingBroadcast => {
+                if outcome == TxOutcome::SentBroadcast {
+                    self.routing_queue.pop();
+                }
+            }
+            LastTx::RoutingUnicast { to } => match outcome {
+                TxOutcome::Acked => {
+                    self.routing_queue.pop();
+                    let events = self.routing.on_tx_result(to, true, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::NoAck => {
+                    if let Some(front) = self.routing_queue.front() {
+                        if front.retries + 1 >= MAX_ROUTING_RETRIES {
+                            self.routing_queue.pop();
+                        } else if let Some(mut msg) = self.routing_queue.pop() {
+                            msg.retries += 1;
+                            self.routing_queue.push(msg);
+                        }
+                    }
+                    let events = self.routing.on_tx_result(to, false, asn);
+                    self.process_routing_events(events, asn);
+                }
+                _ => {}
+            },
+            LastTx::Data { to } => match outcome {
+                TxOutcome::Acked => {
+                    self.app_queue.pop();
+                    self.telemetry.forwarded += 1;
+                    let events = self.routing.on_tx_result(to, true, asn);
+                    self.process_routing_events(events, asn);
+                }
+                TxOutcome::NoAck => {
+                    if let Some(mut item) = self.app_queue.pop() {
+                        item.failed_attempts = item.failed_attempts.saturating_add(1);
+                        if item.failed_attempts >= MAX_DATA_RETRIES {
+                            self.telemetry.retry_drops += 1;
+                        } else {
+                            let mut rest: Vec<QueuedPacket> =
+                                Vec::with_capacity(self.app_queue.len());
+                            while let Some(p) = self.app_queue.pop() {
+                                rest.push(p);
+                            }
+                            self.app_queue.push(item);
+                            for p in rest {
+                                self.app_queue.push(p);
+                            }
+                        }
+                    }
+                    let events = self.routing.on_tx_result(to, false, asn);
+                    self.process_routing_events(events, asn);
+                }
+                // A CCA deferral keeps the packet for the next cycle
+                // without consuming a MAC retry.
+                TxOutcome::DeferredCca | TxOutcome::SentBroadcast => {}
+            },
+        }
+    }
+}

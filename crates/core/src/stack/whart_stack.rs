@@ -1,0 +1,249 @@
+//! The centralized WirelessHART data-plane stack: a node that executes a
+//! schedule computed by the central Network Manager.
+//!
+//! Unlike the DiGS and Orchestra stacks, this node makes **no decisions**:
+//! the manager has provisioned its routes and its superframe cells (and,
+//! implicitly, its time synchronization — WirelessHART devices are
+//! configured during joining). Each slot the node looks up its cell table:
+//! transmit the head packet of the referenced flow to the designated
+//! receiver, or listen. This is exactly why the centralized design is
+//! predictable — and why it cannot adapt until the manager completes a
+//! full update cycle (the Fig. 3 cost).
+
+use super::{DeliveryRecord, QueuedPacket, StackTelemetry};
+use crate::flows::FlowSpec;
+use crate::payload::{DataPacket, Payload};
+use crate::queue::BoundedQueue;
+use digs_sim::engine::{NodeStack, SlotIntent, TxOutcome};
+use digs_sim::ids::{FlowId, NodeId};
+use digs_sim::packet::{Dest, Frame};
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+use digs_whart::schedule::CentralSchedule;
+use std::collections::BTreeMap;
+
+/// A node's role in one superframe slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellRole {
+    /// Transmit the head packet of `flow` to `to`.
+    Tx {
+        /// Next hop.
+        to: NodeId,
+        /// The flow this cell serves.
+        flow: FlowId,
+        /// TSCH channel offset.
+        offset: digs_sim::channel::ChannelOffset,
+    },
+    /// Listen on the given offset.
+    Rx {
+        /// TSCH channel offset.
+        offset: digs_sim::channel::ChannelOffset,
+    },
+}
+
+/// The WirelessHART field-device/access-point stack.
+#[derive(Debug)]
+pub struct WhartStack {
+    id: NodeId,
+    is_ap: bool,
+    superframe_len: u32,
+    /// Slot-in-superframe → role.
+    cells: BTreeMap<u32, CellRole>,
+    flows: Vec<FlowSpec>,
+    /// Per-flow forwarding queues (a relay may serve several flows).
+    queues: BTreeMap<FlowId, BoundedQueue<QueuedPacket>>,
+    last_tx: Option<FlowId>,
+    seq_next: u32,
+    telemetry: StackTelemetry,
+}
+
+impl WhartStack {
+    /// Builds the stack for node `id` from the manager's schedule.
+    pub fn new(
+        id: NodeId,
+        is_ap: bool,
+        schedule: &CentralSchedule,
+        flows: Vec<FlowSpec>,
+        queue_capacity: usize,
+    ) -> WhartStack {
+        let mut cells = BTreeMap::new();
+        for cell in schedule.cells_of(id) {
+            let role = if cell.tx == id {
+                CellRole::Tx { to: cell.rx, flow: cell.flow, offset: cell.offset }
+            } else {
+                CellRole::Rx { offset: cell.offset }
+            };
+            cells.insert(cell.slot, role);
+        }
+        let mut queues = BTreeMap::new();
+        for cell in schedule.cells_of(id) {
+            queues
+                .entry(cell.flow)
+                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+        }
+        for f in &flows {
+            queues
+                .entry(f.id)
+                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+        }
+        let mut telemetry = StackTelemetry::default();
+        // WirelessHART devices are provisioned (synced + routed) by the
+        // manager before the data phase begins.
+        telemetry.synced_at = Some(Asn::ZERO);
+        telemetry.joined_at = Some(Asn::ZERO);
+        WhartStack {
+            id,
+            is_ap,
+            superframe_len: schedule.length(),
+            cells,
+            flows,
+            queues,
+            last_tx: None,
+            seq_next: 0,
+            telemetry,
+        }
+    }
+
+    /// Harness telemetry.
+    pub fn telemetry(&self) -> &StackTelemetry {
+        &self.telemetry
+    }
+
+    /// Installs a freshly disseminated schedule (the end of a manager
+    /// update cycle): cell table and superframe length are replaced;
+    /// queues for newly assigned flows are created; telemetry and sequence
+    /// numbers survive, as they would on the device.
+    pub fn install_schedule(&mut self, schedule: &CentralSchedule, queue_capacity: usize) {
+        self.superframe_len = schedule.length();
+        self.cells.clear();
+        for cell in schedule.cells_of(self.id) {
+            let role = if cell.tx == self.id {
+                CellRole::Tx { to: cell.rx, flow: cell.flow, offset: cell.offset }
+            } else {
+                CellRole::Rx { offset: cell.offset }
+            };
+            self.cells.insert(cell.slot, role);
+        }
+        for cell in schedule.cells_of(self.id) {
+            self.queues
+                .entry(cell.flow)
+                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+        }
+    }
+
+    /// Number of cells the manager provisioned on this node.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn generate(&mut self, asn: Asn) {
+        for i in 0..self.flows.len() {
+            let flow = self.flows[i];
+            if flow.generates_at(asn) {
+                let packet = DataPacket {
+                    flow: flow.id,
+                    seq: self.seq_next,
+                    origin: self.id,
+                    generated_at: asn,
+                };
+                self.seq_next += 1;
+                *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                let queue = self.queues.get_mut(&flow.id).expect("own flow has a queue");
+                if !queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
+                    self.telemetry.queue_drops += 1;
+                }
+            }
+        }
+    }
+}
+
+impl NodeStack for WhartStack {
+    type Payload = Payload;
+
+    fn slot_intent(&mut self, asn: Asn) -> SlotIntent<Payload> {
+        self.last_tx = None;
+        self.generate(asn);
+        let slot = asn.slotframe_offset(self.superframe_len);
+        match self.cells.get(&slot) {
+            None => SlotIntent::Sleep,
+            Some(CellRole::Rx { offset }) => SlotIntent::Listen { offset: *offset },
+            Some(CellRole::Tx { to, flow, offset }) => {
+                let Some(queue) = self.queues.get(flow) else {
+                    return SlotIntent::Sleep;
+                };
+                match queue.front() {
+                    None => SlotIntent::Sleep,
+                    Some(item) => {
+                        let payload = Payload::Data(item.packet);
+                        self.last_tx = Some(*flow);
+                        SlotIntent::Transmit {
+                            offset: *offset,
+                            frame: Frame::new(
+                                self.id,
+                                Dest::Unicast(*to),
+                                payload.frame_kind(),
+                                payload.frame_size(),
+                                payload,
+                            ),
+                            contention: false,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_frame(&mut self, asn: Asn, frame: &Frame<Payload>, _rss: Dbm) {
+        let Payload::Data(packet) = &frame.payload else {
+            return;
+        };
+        if !frame.dst.addressed_to(self.id) || matches!(frame.dst, Dest::Broadcast) {
+            return;
+        }
+        if self.is_ap {
+            self.telemetry
+                .deliveries
+                .push(DeliveryRecord { packet: *packet, delivered_at: asn });
+        } else if let Some(queue) = self.queues.get_mut(&packet.flow) {
+            if !queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 }) {
+                self.telemetry.queue_drops += 1;
+            }
+        }
+    }
+
+    fn on_tx_outcome(&mut self, _asn: Asn, outcome: TxOutcome) {
+        let Some(flow) = self.last_tx.take() else {
+            return;
+        };
+        let Some(queue) = self.queues.get_mut(&flow) else {
+            return;
+        };
+        match outcome {
+            TxOutcome::Acked => {
+                queue.pop();
+                self.telemetry.forwarded += 1;
+            }
+            TxOutcome::NoAck => {
+                // The superframe schedules multiple attempts per hop; the
+                // packet stays queued for the next scheduled cell, and is
+                // dropped after one full superframe's worth of attempts.
+                if let Some(mut item) = queue.pop() {
+                    item.failed_attempts = item.failed_attempts.saturating_add(1);
+                    if item.failed_attempts >= 6 {
+                        self.telemetry.retry_drops += 1;
+                    } else {
+                        let mut rest = Vec::with_capacity(queue.len());
+                        while let Some(p) = queue.pop() {
+                            rest.push(p);
+                        }
+                        queue.push(item);
+                        for p in rest {
+                            queue.push(p);
+                        }
+                    }
+                }
+            }
+            TxOutcome::SentBroadcast | TxOutcome::DeferredCca => {}
+        }
+    }
+}

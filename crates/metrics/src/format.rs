@@ -1,0 +1,147 @@
+//! Plain-text table/series formatting for the per-figure benchmark
+//! binaries, which print the same rows/series the paper's figures plot.
+
+use crate::stats::{BoxplotStats, Cdf};
+use core::fmt::Write as _;
+
+/// Renders a figure header banner.
+pub fn figure_header(id: &str, caption: &str) -> String {
+    let line = "=".repeat(72);
+    format!("{line}\n{id}: {caption}\n{line}")
+}
+
+/// Renders one or more named CDFs side by side as a step table:
+/// `value | F_series1 | F_series2 | …` rows at `steps` evenly spaced
+/// percentiles, plus a summary row block.
+///
+/// # Panics
+///
+/// Panics if `series` is empty.
+pub fn cdf_table(series: &[(&str, &Cdf)], value_label: &str, steps: usize) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let mut out = String::new();
+    let _ = write!(out, "{:>12}", value_label);
+    for (name, _) in series {
+        let _ = write!(out, " | F[{name:>10}]");
+    }
+    let _ = writeln!(out);
+    // Merge the percentile grids of all series on the value axis.
+    let mut values: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, cdf)| cdf.series(steps).into_iter().map(|(v, _)| v))
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for v in values {
+        let _ = write!(out, "{v:>12.3}");
+        for (_, cdf) in series {
+            let _ = write!(out, " | {:>13.3}", cdf.fraction_at_or_below(v));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    for (name, cdf) in series {
+        let _ = writeln!(
+            out,
+            "{name:>12}: n={} mean={:.3} median={:.3} min={:.3} p90={:.3} max={:.3}",
+            cdf.len(),
+            cdf.mean(),
+            cdf.median(),
+            cdf.min(),
+            cdf.percentile(90.0),
+            cdf.max()
+        );
+    }
+    out
+}
+
+/// Renders labelled boxplot rows.
+pub fn boxplot_table(rows: &[(String, BoxplotStats)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "series", "min", "q1", "median", "q3", "max", "mean"
+    );
+    for (label, b) in rows {
+        let _ = writeln!(
+            out,
+            "{label:>16} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            b.min, b.q1, b.median, b.q3, b.max, b.mean
+        );
+    }
+    out
+}
+
+/// Renders a simple two-column series (e.g. bar charts like Fig. 3).
+pub fn bar_table(label: &str, value_label: &str, rows: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label:>24} | {value_label:>12}");
+    for (name, v) in rows {
+        let _ = writeln!(out, "{name:>24} | {v:>12.3}");
+    }
+    out
+}
+
+/// Renders a paper-vs-measured comparison row for EXPERIMENTS.md-style
+/// reporting.
+pub fn compare_row(metric: &str, paper: &str, measured: f64) -> String {
+    format!("{metric:>40} | paper: {paper:>12} | measured: {measured:>10.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_contains_id_and_caption() {
+        let h = figure_header("Fig. 9a", "CDF of PDR");
+        assert!(h.contains("Fig. 9a"));
+        assert!(h.contains("CDF of PDR"));
+    }
+
+    #[test]
+    fn cdf_table_renders_all_series() {
+        let a = Cdf::new([1.0, 2.0, 3.0]).expect("ok");
+        let b = Cdf::new([2.0, 3.0, 4.0]).expect("ok");
+        let t = cdf_table(&[("digs", &a), ("orchestra", &b)], "pdr", 4);
+        assert!(t.contains("digs"));
+        assert!(t.contains("orchestra"));
+        assert!(t.contains("median"));
+        // Monotone fractions on each row: last value has F = 1 for both.
+        let last_line = t
+            .lines()
+            .filter(|l| l.starts_with(' ') && l.contains('|'))
+            .last()
+            .expect("rows");
+        assert!(last_line.contains("1.000") || t.contains("1.000"));
+    }
+
+    #[test]
+    fn boxplot_table_rows() {
+        let b = BoxplotStats::of(&[1.0, 2.0, 3.0]).expect("ok");
+        let t = boxplot_table(&[("flow 1".to_string(), b)]);
+        assert!(t.contains("flow 1"));
+        assert!(t.contains("median"));
+    }
+
+    #[test]
+    fn bar_table_rows() {
+        let t = bar_table("topology", "seconds", &[("Full Testbed A".to_string(), 506.0)]);
+        assert!(t.contains("Full Testbed A"));
+        assert!(t.contains("506.000"));
+    }
+
+    #[test]
+    fn compare_row_format() {
+        let r = compare_row("median latency (ms)", "601.3", 640.2);
+        assert!(r.contains("601.3"));
+        assert!(r.contains("640.2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one series")]
+    fn empty_cdf_table_panics() {
+        let _ = cdf_table(&[], "x", 4);
+    }
+}

@@ -1,0 +1,14 @@
+//! # digs-metrics — statistics toolkit for the DiGS reproduction
+//!
+//! Small, dependency-light statistics used by the experiment harness and
+//! the per-figure benchmark binaries: summary statistics ([`Summary`]),
+//! empirical CDFs ([`Cdf`]) matching the paper's CDF figures, and boxplot
+//! five-number summaries ([`BoxplotStats`]) matching its boxplot figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod stats;
+
+pub use stats::{BoxplotStats, Cdf, ConfidenceInterval, Summary};

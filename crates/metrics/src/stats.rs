@@ -1,0 +1,413 @@
+//! Summary statistics, empirical CDFs, and boxplot summaries.
+
+use core::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Returns `None` for an empty sample or a
+    /// sample containing non-finite values.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Summary {
+            count,
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            min: sorted[0],
+            max: sorted[count - 1],
+            std_dev: var.sqrt(),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} median={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.count, self.mean, self.median, self.min, self.max, self.std_dev
+        )
+    }
+}
+
+/// Percentile (0–100) of an ascending-sorted slice with linear
+/// interpolation.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (non-finite values are rejected).
+    ///
+    /// Returns `None` if `samples` is empty or contains non-finite values.
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Option<Cdf> {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        if sorted.is_empty() || sorted.iter().any(|s| !s.is_finite()) {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Cdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples (never true: construction rejects
+    /// empty input).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value at `x`).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|s| *s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples ≥ `x` (used for "75% of flow sets achieve PDR
+    /// higher than 95%"-style claims).
+    pub fn fraction_at_or_above(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|s| *s < x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile value.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// Minimum (the "worst case" for PDR-like metrics).
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Mean of the underlying sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Median of the underlying sample.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting or
+    /// printing, `steps + 1` rows from p0 to p100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn series(&self, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps > 0, "need at least one step");
+        (0..=steps)
+            .map(|i| {
+                let p = 100.0 * i as f64 / steps as f64;
+                (self.percentile(p), p / 100.0)
+            })
+            .collect()
+    }
+}
+
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Whether this interval overlaps another (a cheap "statistically
+    /// indistinguishable" check for bench summaries).
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Normal-approximation confidence interval for the mean at the given
+/// confidence level (supported levels: 0.90, 0.95, 0.99). For the small
+/// flow-set counts the harness uses, this slightly understates the t
+/// interval, which is acceptable for ranking runs.
+///
+/// Returns `None` for fewer than 2 samples or non-finite input.
+pub fn mean_confidence_interval(samples: &[f64], level: f64) -> Option<ConfidenceInterval> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let z = match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.645,
+        l if (l - 0.95).abs() < 1e-9 => 1.960,
+        l if (l - 0.99).abs() < 1e-9 => 2.576,
+        _ => return None,
+    };
+    let summary = Summary::of(samples)?;
+    let se = summary.std_dev / (samples.len() as f64).sqrt();
+    Some(ConfidenceInterval {
+        mean: summary.mean,
+        lo: summary.mean - z * se,
+        hi: summary.mean + z * se,
+    })
+}
+
+/// Five-number summary plus mean, matching the paper's boxplots.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoxplotStats {
+    /// Lower whisker (minimum).
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (maximum).
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl BoxplotStats {
+    /// Computes the boxplot summary. Returns `None` on empty or non-finite
+    /// input.
+    pub fn of(samples: &[f64]) -> Option<BoxplotStats> {
+        if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(BoxplotStats {
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl fmt::Display for BoxplotStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min={:.3} q1={:.3} med={:.3} q3={:.3} max={:.3} mean={:.3}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[7.0]).expect("one sample");
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of an empty sample")]
+    fn percentile_empty_panics() {
+        let _ = percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_above(3.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_order_independent() {
+        let a = Cdf::new([3.0, 1.0, 2.0]).expect("ok");
+        let b = Cdf::new([1.0, 2.0, 3.0]).expect("ok");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = Cdf::new((0..100).map(f64::from)).expect("ok");
+        let series = cdf.series(20);
+        assert_eq!(series.len(), 21);
+        for w in series.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series[0].0, cdf.min());
+        assert_eq!(series[20].0, cdf.max());
+    }
+
+    #[test]
+    fn cdf_statistics() {
+        let cdf = Cdf::new([2.0, 4.0, 6.0, 8.0]).expect("ok");
+        assert!((cdf.mean() - 5.0).abs() < 1e-12);
+        assert!((cdf.median() - 5.0).abs() < 1e-12);
+        assert_eq!(cdf.min(), 2.0);
+        assert_eq!(cdf.max(), 8.0);
+        assert_eq!(cdf.len(), 4);
+    }
+
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let samples: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let ci = mean_confidence_interval(&samples, 0.95).expect("enough samples");
+        assert!(ci.lo < ci.mean && ci.mean < ci.hi);
+        assert!(ci.contains(ci.mean));
+        assert!(!ci.contains(ci.hi + 1.0));
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let samples: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        let ci90 = mean_confidence_interval(&samples, 0.90).expect("ok");
+        let ci99 = mean_confidence_interval(&samples, 0.99).expect("ok");
+        assert!(ci99.half_width() > ci90.half_width());
+        assert!(ci99.overlaps(&ci90));
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| f64::from(i % 5)).collect();
+        let large: Vec<f64> = (0..1000).map(|i| f64::from(i % 5)).collect();
+        let ci_small = mean_confidence_interval(&small, 0.95).expect("ok");
+        let ci_large = mean_confidence_interval(&large, 0.95).expect("ok");
+        assert!(ci_large.half_width() < ci_small.half_width());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(mean_confidence_interval(&[1.0], 0.95).is_none());
+        assert!(mean_confidence_interval(&[1.0, 2.0], 0.5).is_none());
+        assert!(mean_confidence_interval(&[1.0, f64::NAN], 0.95).is_none());
+    }
+
+    #[test]
+    fn zero_variance_gives_point_interval() {
+        let ci = mean_confidence_interval(&[3.0; 20], 0.95).expect("ok");
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn boxplot_five_numbers() {
+        let b = BoxplotStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).expect("ok");
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.iqr(), 2.0);
+        assert_eq!(b.mean, 3.0);
+    }
+
+    #[test]
+    fn boxplot_rejects_bad_input() {
+        assert!(BoxplotStats::of(&[]).is_none());
+        assert!(BoxplotStats::of(&[f64::NAN]).is_none());
+    }
+}

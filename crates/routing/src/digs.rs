@@ -1,0 +1,742 @@
+//! The DiGS distributed graph routing protocol (paper Section V,
+//! Algorithm 1).
+//!
+//! Every field device selects a **best parent** (primary route) and a
+//! **second-best parent** (backup route) toward the access points, ranked
+//! by accumulated ETX `ETXa(node, i) = ETX(node, i) + ETXw(i)`. The node's
+//! own advertised cost is the weighted ETX of Eq. 1–3:
+//!
+//! ```text
+//! ETXw = ω1·ETXabp + ω2·ETXasbp
+//! ω1 = 1 − (1 − 1/ETXbp)²      (both scheduled attempts via the primary)
+//! ω2 = (1 − 1/ETXbp)²          (fall back to the backup route)
+//! ```
+//!
+//! Join-in broadcasts are paced by Trickle and carry `(rank, ETXw)`;
+//! joined-callback unicasts inform a selected parent so it can maintain its
+//! child table. Children are excluded from parent candidacy and the
+//! second-best parent must have strictly lower rank — the paper's
+//! loop-avoidance rules (same-rank links are never used for routing).
+//!
+//! This implementation processes Algorithm 1's event-driven updates as a
+//! batch re-evaluation on every received join-in, which yields the same
+//! fixed point while also handling parent *loss* (consecutive missed ACKs
+//! or prolonged silence), which the pseudo-code leaves implicit.
+
+use crate::messages::{JoinIn, JoinedCallback, ParentSlot, Rank, RoutingEvent};
+use crate::neighbor::NeighborTable;
+use crate::trickle::{Trickle, TrickleConfig};
+use digs_sim::ids::NodeId;
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+use std::collections::BTreeSet;
+
+/// Tuning knobs for [`DigsRouting`] (and, where shared, [`crate::rpl::RplRouting`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingConfig {
+    /// Trickle timer parameters for join-in emission.
+    pub trickle: TrickleConfig,
+    /// Consecutive unacknowledged transmissions after which a parent is
+    /// presumed unreachable and dropped.
+    pub parent_failure_threshold: u32,
+    /// Silence horizon (in slots) after which a neighbor is evicted.
+    pub neighbor_timeout: u64,
+    /// Minimum accumulated-ETX improvement required to switch best parent
+    /// (hysteresis against churn).
+    pub hysteresis: f64,
+    /// Use the paper's weighted ETX (Eq. 1–3) as the advertised cost. When
+    /// `false` (ablation), advertise the plain accumulated ETX through the
+    /// best parent.
+    pub use_weighted_etx: bool,
+    /// Maintain a second-best parent. When `false` (ablation), the protocol
+    /// degenerates to single-path routing à la RPL.
+    pub use_second_parent: bool,
+    /// Minimum slots between *voluntary* parent switches (cost-driven, as
+    /// opposed to failure-driven, which always proceeds). Neighbor link
+    /// estimates start from the optimistic RSS mapping, so an unproven
+    /// challenger often looks better than a measured parent; rate-limiting
+    /// voluntary switches keeps that optimism from churning the graph.
+    pub switch_lockout: u64,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> RoutingConfig {
+        RoutingConfig {
+            trickle: TrickleConfig::standard(),
+            parent_failure_threshold: 8,
+            neighbor_timeout: 3 * TrickleConfig::standard().imax,
+            hysteresis: 2.5,
+            use_weighted_etx: true,
+            use_second_parent: true,
+            switch_lockout: 3000, // 30 s
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// A fast-converging profile for unit tests.
+    pub fn fast() -> RoutingConfig {
+        RoutingConfig {
+            trickle: TrickleConfig::fast(),
+            neighbor_timeout: 3 * TrickleConfig::fast().imax,
+            ..RoutingConfig::default()
+        }
+    }
+}
+
+/// The per-node DiGS routing state machine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DigsRouting {
+    id: NodeId,
+    is_root: bool,
+    config: RoutingConfig,
+    trickle: Trickle,
+    neighbors: NeighborTable,
+    best: Option<NodeId>,
+    second: Option<NodeId>,
+    rank: Rank,
+    children: BTreeSet<NodeId>,
+    joined_at: Option<Asn>,
+    parent_changes: u64,
+    last_parent_change: Option<Asn>,
+    /// Voluntary switches are suppressed until this slot.
+    lockout_until: Asn,
+}
+
+impl DigsRouting {
+    /// Creates the state machine. Access points (`is_root`) start at rank 1
+    /// with `ETXw = 0` and immediately begin advertising; field devices
+    /// start detached at infinite rank.
+    pub fn new(id: NodeId, is_root: bool, config: RoutingConfig, seed: u64, now: Asn) -> DigsRouting {
+        DigsRouting {
+            id,
+            is_root,
+            config,
+            trickle: Trickle::new(config.trickle, seed ^ u64::from(id.0) << 17, now),
+            neighbors: NeighborTable::new(),
+            best: None,
+            second: None,
+            rank: if is_root { Rank::ROOT } else { Rank::INFINITE },
+            children: BTreeSet::new(),
+            joined_at: if is_root { Some(now) } else { None },
+            parent_changes: 0,
+            last_parent_change: None,
+            lockout_until: Asn::ZERO,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is an access point.
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Current best (primary) parent.
+    pub fn best_parent(&self) -> Option<NodeId> {
+        self.best
+    }
+
+    /// Current second-best (backup) parent.
+    pub fn second_best_parent(&self) -> Option<NodeId> {
+        self.second
+    }
+
+    /// Nodes that selected us as one of their parents.
+    pub fn children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.children.iter().copied()
+    }
+
+    /// Whether the given node is currently one of our children.
+    pub fn has_child(&self, id: NodeId) -> bool {
+        self.children.contains(&id)
+    }
+
+    /// Whether the node has joined the routing graph (roots always have).
+    pub fn is_joined(&self) -> bool {
+        self.is_root || self.best.is_some()
+    }
+
+    /// When the node first joined, if it has.
+    pub fn joined_at(&self) -> Option<Asn> {
+        self.joined_at
+    }
+
+    /// Number of parent-set changes so far (repair telemetry).
+    pub fn parent_changes(&self) -> u64 {
+        self.parent_changes
+    }
+
+    /// When the parent set last changed (repair telemetry).
+    pub fn last_parent_change(&self) -> Option<Asn> {
+        self.last_parent_change
+    }
+
+    /// Read access to the neighbor table.
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// Accumulated ETX to the access points through `via` (Algorithm 1's
+    /// `ETXa`), or `None` if `via` is unknown.
+    pub fn accumulated_etx(&self, via: NodeId) -> Option<f64> {
+        self.neighbors.get(via).map(|e| e.accumulated_cost())
+    }
+
+    /// The node's advertised cost: the weighted ETX of Eq. 1–3 (or, for the
+    /// ablation, the plain accumulated ETX through the best parent).
+    /// Roots advertise 0; detached nodes advertise infinity.
+    pub fn etx_w(&self) -> f64 {
+        if self.is_root {
+            return 0.0;
+        }
+        let Some(best) = self.best else {
+            return f64::INFINITY;
+        };
+        let Some(best_entry) = self.neighbors.get(best) else {
+            return f64::INFINITY;
+        };
+        let etx_abp = best_entry.accumulated_cost();
+        if !self.config.use_weighted_etx {
+            return etx_abp;
+        }
+        let etx_bp = best_entry.etx.etx();
+        let w2 = (1.0 - 1.0 / etx_bp).powi(2);
+        let w1 = 1.0 - w2;
+        let etx_asbp = self
+            .second
+            .and_then(|s| self.neighbors.get(s))
+            .map_or(etx_abp, |e| e.accumulated_cost());
+        w1 * etx_abp + w2 * etx_asbp
+    }
+
+    /// The join-in message the node would broadcast right now.
+    pub fn join_in(&self) -> JoinIn {
+        JoinIn {
+            rank: self.rank,
+            etx_w: self.etx_w(),
+            best_parent: self.best,
+            second_parent: self.second,
+        }
+    }
+
+    /// Handles a received join-in broadcast. Besides evaluating the sender
+    /// as a parent, this refreshes our child table from the parent ids the
+    /// sender advertises (self-healing when a joined-callback was lost).
+    pub fn on_join_in(&mut self, from: NodeId, msg: &JoinIn, rss: Dbm, now: Asn) -> Vec<RoutingEvent> {
+        self.trickle.hear_consistent();
+        if from == self.id {
+            return Vec::new();
+        }
+        // A neighbor advertising infinite cost has detached; keep the entry
+        // (link quality is still real) but it won't qualify as a parent.
+        self.neighbors
+            .record_advertisement(from, msg.rank, msg.etx_w, rss, now);
+        let advertises_us =
+            msg.best_parent == Some(self.id) || msg.second_parent == Some(self.id);
+        if advertises_us {
+            self.children.insert(from);
+        } else {
+            self.children.remove(&from);
+        }
+        if self.is_root {
+            return Vec::new();
+        }
+        if advertises_us && (self.best == Some(from) || self.second == Some(from)) {
+            // Mutual parenthood detected via advertisement: resolve it.
+            return self.reevaluate(now);
+        }
+        self.reevaluate(now)
+    }
+
+    /// Handles a received joined-callback unicast addressed to us.
+    pub fn on_joined_callback(
+        &mut self,
+        from: NodeId,
+        cb: &JoinedCallback,
+        now: Asn,
+    ) -> Vec<RoutingEvent> {
+        if cb.selected {
+            self.children.insert(from);
+            // A child cannot simultaneously be our parent: if it just
+            // selected us, drop it from our parent set and re-evaluate
+            // (rank updates will sort the hierarchy out).
+            if self.best == Some(from) || self.second == Some(from) {
+                return self.reevaluate(now);
+            }
+        } else {
+            let _ = cb.slot; // revocations clear the child regardless of slot
+            self.children.remove(&from);
+        }
+        Vec::new()
+    }
+
+    /// Handles the outcome of a unicast transmission to `to` (data or
+    /// callback traffic): updates the link ETX and drops the parent after
+    /// `parent_failure_threshold` consecutive failures.
+    pub fn on_tx_result(&mut self, to: NodeId, acked: bool, now: Asn) -> Vec<RoutingEvent> {
+        let Some(failures) = self.neighbors.record_tx(to, acked) else {
+            return Vec::new();
+        };
+        let is_parent = self.best == Some(to) || self.second == Some(to);
+        if is_parent && failures >= self.config.parent_failure_threshold {
+            // Degrade rather than forget: the scheduler's backup route
+            // already covers the short term, and wholesale removal under
+            // bursty interference causes needless detach/rejoin churn.
+            self.neighbors.degrade(to);
+            self.lockout_until = Asn::ZERO; // failure overrides the lockout
+            return self.reevaluate(now);
+        }
+        Vec::new()
+    }
+
+    /// Per-slot housekeeping: neighbor eviction and Trickle-paced join-in
+    /// emission.
+    pub fn tick(&mut self, now: Asn) -> Vec<RoutingEvent> {
+        let mut events = Vec::new();
+        if now.0 % 64 == u64::from(self.id.0) % 64 && now.0 >= self.config.neighbor_timeout {
+            let horizon = Asn(now.0 - self.config.neighbor_timeout);
+            let evicted = self.neighbors.evict_stale(horizon);
+            let lost_parent = evicted
+                .iter()
+                .any(|id| self.best == Some(*id) || self.second == Some(*id));
+            for id in evicted {
+                self.children.remove(&id);
+            }
+            if lost_parent {
+                self.lockout_until = Asn::ZERO;
+                events.extend(self.reevaluate(now));
+            }
+        }
+        if self.trickle.tick(now) && self.is_joined() {
+            events.push(RoutingEvent::BroadcastJoinIn(self.join_in()));
+        }
+        events
+    }
+
+    /// Re-runs parent selection over the neighbor table. Emits callbacks
+    /// and telemetry, and resets Trickle, when the parent set changes.
+    fn reevaluate(&mut self, now: Asn) -> Vec<RoutingEvent> {
+        debug_assert!(!self.is_root, "roots never select parents");
+        let old_best = self.best;
+        let old_second = self.second;
+
+        // Candidate parents: joined neighbors that are not our children and
+        // whose signal is above the paper's RSSmin — links weaker than
+        // -90 dBm are below the usable floor, and picking one as a parent
+        // only buys a string of failed transmissions.
+        let mut candidates: Vec<(NodeId, f64, Rank)> = self
+            .neighbors
+            .iter()
+            .filter(|(id, e)| {
+                !self.children.contains(id)
+                    && e.rank.is_finite()
+                    && e.advertised_cost.is_finite()
+                    && e.last_rss.dbm() >= digs_sim::rf::RSS_MIN.dbm()
+            })
+            .map(|(id, e)| (id, e.accumulated_cost(), e.rank))
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+
+        // Best parent: minimum accumulated ETX, with hysteresis in favor of
+        // the incumbent.
+        let new_best = match candidates.first() {
+            None => None,
+            Some(&(challenger, challenger_cost, _)) => {
+                // The incumbent only survives if it still passes the same
+                // eligibility bar as the challengers (finite rank/cost,
+                // usable RSS, not a child).
+                let incumbent = old_best.and_then(|b| {
+                    candidates
+                        .iter()
+                        .find(|(id, _, _)| *id == b)
+                        .map(|(_, cost, _)| (b, *cost))
+                });
+                match incumbent {
+                    Some((b, cost))
+                        if challenger != b
+                            && (challenger_cost + self.config.hysteresis >= cost
+                                || now < self.lockout_until) =>
+                    {
+                        Some(b)
+                    }
+                    _ => Some(challenger),
+                }
+            }
+        };
+
+        // Rank derives from the best parent.
+        let new_rank = match new_best.and_then(|b| self.neighbors.get(b)) {
+            Some(e) => e.rank.deeper(),
+            None => Rank::INFINITE,
+        };
+
+        // Second-best parent: next-cheapest candidate with *strictly lower
+        // rank than us* (paper's loop rule: same-rank links are not used).
+        // The incumbent also enjoys hysteresis — backup flapping costs a
+        // joined-callback exchange per flip.
+        let new_second = if self.config.use_second_parent {
+            let challenger = candidates
+                .iter()
+                .find(|(id, _, rank)| Some(*id) != new_best && *rank < new_rank)
+                .map(|(id, cost, _)| (*id, *cost));
+            let incumbent = old_second
+                .filter(|s| Some(*s) != new_best && !self.children.contains(s))
+                .and_then(|s| {
+                    self.neighbors
+                        .get(s)
+                        .filter(|e| e.rank < new_rank && e.advertised_cost.is_finite())
+                        .map(|e| (s, e.accumulated_cost()))
+                });
+            match (challenger, incumbent) {
+                (Some((c, c_cost)), Some((i, i_cost))) => {
+                    if c != i
+                        && c_cost + self.config.hysteresis < i_cost
+                        && now >= self.lockout_until
+                    {
+                        Some(c)
+                    } else {
+                        Some(i)
+                    }
+                }
+                (Some((c, _)), None) => Some(c),
+                (None, Some((i, _))) => Some(i),
+                (None, None) => None,
+            }
+        } else {
+            None
+        };
+
+        self.rank = new_rank;
+        if new_best == old_best && new_second == old_second {
+            return Vec::new();
+        }
+        self.best = new_best;
+        self.second = new_second;
+        self.parent_changes += 1;
+        self.last_parent_change = Some(now);
+        self.lockout_until = Asn(now.0 + self.config.switch_lockout);
+        if self.joined_at.is_none() && new_best.is_some() {
+            self.joined_at = Some(now);
+        }
+        self.trickle.reset(now);
+
+        let mut events = Vec::new();
+        for (slot, new, old) in [
+            (ParentSlot::Best, new_best, old_best),
+            (ParentSlot::SecondBest, new_second, old_second),
+        ] {
+            if new != old {
+                if let Some(o) = old {
+                    // Revoke unless the node still holds the other slot.
+                    let still_parent = Some(o) == new_best || Some(o) == new_second;
+                    if !still_parent {
+                        events.push(RoutingEvent::SendJoinedCallback {
+                            to: o,
+                            callback: JoinedCallback { slot, selected: false },
+                        });
+                    }
+                }
+                if let Some(n) = new {
+                    events.push(RoutingEvent::SendJoinedCallback {
+                        to: n,
+                        callback: JoinedCallback { slot, selected: true },
+                    });
+                }
+            }
+        }
+        events.push(RoutingEvent::ParentsChanged { best: new_best, second: new_second });
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRONG: Dbm = Dbm(-55.0);
+
+    fn device(id: u16) -> DigsRouting {
+        DigsRouting::new(NodeId(id), false, RoutingConfig::fast(), 42, Asn(0))
+    }
+
+    fn root(id: u16) -> DigsRouting {
+        DigsRouting::new(NodeId(id), true, RoutingConfig::fast(), 42, Asn(0))
+    }
+
+    fn join_in_from(node: &DigsRouting) -> JoinIn {
+        node.join_in()
+    }
+
+    #[test]
+    fn root_starts_joined_with_zero_cost() {
+        let r = root(0);
+        assert!(r.is_joined());
+        assert_eq!(r.rank(), Rank::ROOT);
+        assert_eq!(r.etx_w(), 0.0);
+    }
+
+    #[test]
+    fn device_starts_detached() {
+        let d = device(5);
+        assert!(!d.is_joined());
+        assert_eq!(d.rank(), Rank::INFINITE);
+        assert!(d.etx_w().is_infinite());
+    }
+
+    #[test]
+    fn first_join_in_selects_best_parent() {
+        let r = root(0);
+        let mut d = device(5);
+        let events = d.on_join_in(NodeId(0), &join_in_from(&r), STRONG, Asn(1));
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        assert_eq!(d.second_best_parent(), None);
+        assert_eq!(d.rank(), Rank(2));
+        assert!(d.is_joined());
+        assert_eq!(d.joined_at(), Some(Asn(1)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RoutingEvent::SendJoinedCallback { to, callback } if *to == NodeId(0) && callback.selected
+        )));
+    }
+
+    #[test]
+    fn second_root_becomes_backup_parent() {
+        let r0 = root(0);
+        let r1 = root(1);
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(1));
+        let events = d.on_join_in(NodeId(1), &join_in_from(&r1), Dbm(-70.0), Asn(2));
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        assert_eq!(d.second_best_parent(), Some(NodeId(1)));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RoutingEvent::SendJoinedCallback { to, .. } if *to == NodeId(1)
+        )));
+    }
+
+    #[test]
+    fn cheaper_parent_takes_over_best() {
+        let mut d = device(5);
+        // Expensive first route: weak link to a rank-2 node with a costly
+        // path (accumulated ETX ≈ 2.9 + 3.0 ≈ 5.9)…
+        d.on_join_in(NodeId(9), &JoinIn { rank: Rank(2), etx_w: 3.0, best_parent: None, second_parent: None }, Dbm(-88.0), Asn(1));
+        assert_eq!(d.best_parent(), Some(NodeId(9)));
+        assert_eq!(d.rank(), Rank(3));
+        // …then, once the voluntary-switch lockout has expired, a strong
+        // direct link to a root (accumulated ≈ 1.0) beats the incumbent by
+        // far more than the hysteresis margin.
+        let after_lockout = Asn(2 + RoutingConfig::fast().switch_lockout);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, after_lockout);
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        assert_eq!(d.rank(), Rank(2));
+        // No eligible backup remains: node 9's rank 2 is not strictly
+        // below our new rank 2.
+        assert_eq!(d.second_best_parent(), None);
+    }
+
+    #[test]
+    fn hysteresis_keeps_incumbent_on_marginal_improvement() {
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
+        let incumbent_cost = d.accumulated_etx(NodeId(0)).expect("known");
+        // A challenger 0.1 cheaper: inside the hysteresis band.
+        d.on_join_in(
+            NodeId(9),
+            &JoinIn { rank: Rank::ROOT, etx_w: incumbent_cost - 1.0 - 0.1, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(2),
+        );
+        assert_eq!(d.best_parent(), Some(NodeId(0)), "marginal challenger must not win");
+    }
+
+    #[test]
+    fn same_rank_neighbor_never_becomes_backup() {
+        // Paper example: #5 and #6 both rank 2; their mutual link is unused.
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        assert_eq!(d.rank(), Rank(2));
+        d.on_join_in(NodeId(6), &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }, STRONG, Asn(2));
+        assert_eq!(d.second_best_parent(), None, "same-rank node is not eligible");
+    }
+
+    #[test]
+    fn child_is_excluded_from_parent_candidacy() {
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        // Node 8 selects us as parent.
+        d.on_joined_callback(
+            NodeId(8),
+            &JoinedCallback { slot: ParentSlot::Best, selected: true },
+            Asn(2),
+        );
+        // Node 8 later advertises a tempting cost — but it's our child.
+        d.on_join_in(NodeId(8), &JoinIn { rank: Rank(3), etx_w: 0.1, best_parent: None, second_parent: None }, STRONG, Asn(3));
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        assert_ne!(d.second_best_parent(), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn parent_loss_promotes_backup() {
+        let r0 = root(0);
+        let r1 = root(1);
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(1));
+        d.on_join_in(NodeId(1), &join_in_from(&r1), Dbm(-70.0), Asn(2));
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        // Consecutive failures up to the threshold degrade the primary;
+        // the backup takes over.
+        let threshold = RoutingConfig::fast().parent_failure_threshold;
+        let mut promoted = false;
+        for i in 0..u64::from(threshold) {
+            let events = d.on_tx_result(NodeId(0), false, Asn(10 + i));
+            promoted |= events
+                .iter()
+                .any(|e| matches!(e, RoutingEvent::ParentsChanged { best: Some(b), .. } if *b == NodeId(1)));
+        }
+        assert!(promoted, "backup must take over after threshold failures");
+        assert_eq!(d.best_parent(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn degraded_sole_parent_is_kept_not_dropped() {
+        // With no alternative route, threshold failures degrade the link
+        // estimate but the node stays attached — detachment would only
+        // make things worse, and the neighbor-timeout eviction handles
+        // genuinely dead parents.
+        let r0 = root(0);
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(1));
+        let etx_before = d.neighbors().get(NodeId(0)).expect("entry").etx.etx();
+        let threshold = RoutingConfig::fast().parent_failure_threshold;
+        for i in 0..u64::from(threshold) {
+            d.on_tx_result(NodeId(0), false, Asn(10 + i));
+        }
+        assert!(d.is_joined(), "sole parent is kept");
+        assert_eq!(d.best_parent(), Some(NodeId(0)));
+        let etx_after = d.neighbors().get(NodeId(0)).expect("entry").etx.etx();
+        assert!(etx_after > etx_before + 5.0, "link estimate degraded to cap");
+    }
+
+    #[test]
+    fn detaches_when_parent_goes_silent() {
+        // A dead parent stops advertising; the neighbor timeout evicts it
+        // and the node detaches.
+        let r0 = root(0);
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(1));
+        assert!(d.is_joined());
+        let timeout = RoutingConfig::fast().neighbor_timeout;
+        // Tick far past the eviction horizon (eviction runs when
+        // now % 64 == id % 64).
+        let mut now = timeout + 64;
+        while now % 64 != 5 {
+            now += 1;
+        }
+        d.tick(Asn(now));
+        assert!(!d.is_joined());
+        assert_eq!(d.rank(), Rank::INFINITE);
+        assert!(d.etx_w().is_infinite());
+    }
+
+    #[test]
+    fn weighted_etx_matches_equations() {
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
+        d.on_join_in(NodeId(1), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-80.0), Asn(2));
+        let etx_bp = d.neighbors().get(NodeId(0)).expect("entry").etx.etx();
+        let etx_abp = d.accumulated_etx(NodeId(0)).expect("known");
+        let etx_asbp = d.accumulated_etx(NodeId(1)).expect("known");
+        let w2 = (1.0 - 1.0 / etx_bp).powi(2);
+        let w1 = 1.0 - w2;
+        let expected = w1 * etx_abp + w2 * etx_asbp;
+        assert!((d.etx_w() - expected).abs() < 1e-9);
+        // Sanity: weighted cost lies between the two path costs.
+        assert!(d.etx_w() >= etx_abp - 1e-9);
+        assert!(d.etx_w() <= etx_asbp + 1e-9);
+    }
+
+    #[test]
+    fn weighted_etx_without_backup_equals_primary_cost() {
+        let mut d = device(5);
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
+        let etx_abp = d.accumulated_etx(NodeId(0)).expect("known");
+        assert!((d.etx_w() - etx_abp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablation_single_path_has_no_backup() {
+        let mut config = RoutingConfig::fast();
+        config.use_second_parent = false;
+        let mut d = DigsRouting::new(NodeId(5), false, config, 42, Asn(0));
+        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        d.on_join_in(NodeId(1), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(2));
+        assert!(d.best_parent().is_some());
+        assert_eq!(d.second_best_parent(), None);
+    }
+
+    #[test]
+    fn trickle_emits_join_ins_once_joined() {
+        let r0 = root(0);
+        let mut d = device(5);
+        let mut emitted = 0;
+        for s in 0..100u64 {
+            if s == 1 {
+                d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(s));
+            }
+            emitted += d
+                .tick(Asn(s))
+                .iter()
+                .filter(|e| matches!(e, RoutingEvent::BroadcastJoinIn(_)))
+                .count();
+        }
+        assert!(emitted > 0, "joined node must advertise");
+    }
+
+    #[test]
+    fn detached_node_does_not_advertise() {
+        let mut d = device(5);
+        for s in 0..200u64 {
+            let events = d.tick(Asn(s));
+            assert!(
+                !events.iter().any(|e| matches!(e, RoutingEvent::BroadcastJoinIn(_))),
+                "detached node advertised at slot {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn callback_from_parent_resolves_conflict() {
+        let mut d = device(5);
+        d.on_join_in(NodeId(7), &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        assert_eq!(d.best_parent(), Some(NodeId(7)));
+        // Node 7 (erroneously, e.g. after its own parent loss) picks us.
+        d.on_joined_callback(
+            NodeId(7),
+            &JoinedCallback { slot: ParentSlot::Best, selected: true },
+            Asn(2),
+        );
+        assert_ne!(d.best_parent(), Some(NodeId(7)), "mutual parenthood must break");
+    }
+
+    #[test]
+    fn parent_changes_counted() {
+        let r0 = root(0);
+        let r1 = root(1);
+        let mut d = device(5);
+        assert_eq!(d.parent_changes(), 0);
+        d.on_join_in(NodeId(0), &join_in_from(&r0), STRONG, Asn(1));
+        assert_eq!(d.parent_changes(), 1);
+        d.on_join_in(NodeId(1), &join_in_from(&r1), STRONG, Asn(2));
+        assert_eq!(d.parent_changes(), 2);
+        assert_eq!(d.last_parent_change(), Some(Asn(2)));
+    }
+}

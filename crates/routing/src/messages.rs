@@ -1,0 +1,158 @@
+//! Routing-plane wire messages and state-machine outputs.
+
+use digs_sim::ids::NodeId;
+use core::fmt;
+
+/// A node's rank: its hop-distance-derived position in the DAG. Access
+/// points have rank 1; a field device's rank is its best parent's rank + 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rank(pub u16);
+
+impl Rank {
+    /// Rank of the access points.
+    pub const ROOT: Rank = Rank(1);
+    /// Rank of a node that has not joined the network.
+    pub const INFINITE: Rank = Rank(u16::MAX);
+
+    /// Whether the node holding this rank has joined.
+    pub fn is_finite(self) -> bool {
+        self != Rank::INFINITE
+    }
+
+    /// One deeper than `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Rank::INFINITE`].
+    pub fn deeper(self) -> Rank {
+        assert!(self.is_finite(), "cannot deepen an infinite rank");
+        Rank(self.0.saturating_add(1))
+    }
+}
+
+impl Default for Rank {
+    /// The default rank is [`Rank::INFINITE`] (not yet joined).
+    fn default() -> Rank {
+        Rank::INFINITE
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "rank {}", self.0)
+        } else {
+            f.write_str("rank ∞")
+        }
+    }
+}
+
+/// The join-in broadcast (DiGS): advertises the sender's rank and weighted
+/// ETX so neighbors can evaluate it as a parent (paper Section V).
+///
+/// In addition to the paper's `(rank, ETXw)` pair, our join-in carries the
+/// sender's current parent selections. Hearing a join-in therefore lets a
+/// parent *refresh* its child table even when the joined-callback unicast
+/// was lost — without this, a lost callback leaves the parent's autonomous
+/// schedule permanently missing the child's receive cells (two node ids of
+/// extra payload buy schedule self-healing).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JoinIn {
+    /// Sender's rank.
+    pub rank: Rank,
+    /// Sender's weighted ETX to the access points (Eq. 1).
+    pub etx_w: f64,
+    /// Sender's current best parent.
+    pub best_parent: Option<NodeId>,
+    /// Sender's current second-best parent.
+    pub second_parent: Option<NodeId>,
+}
+
+/// Which parent slot a joined-callback refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ParentSlot {
+    /// The primary (best) parent.
+    Best,
+    /// The backup (second-best) parent.
+    SecondBest,
+}
+
+/// The joined-callback unicast (DiGS): tells a node it has been selected
+/// (or dropped) as a parent, so it can maintain its child table — which
+/// both feeds the autonomous scheduler's receive cells and excludes
+/// children from parent candidacy (loop avoidance).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JoinedCallback {
+    /// Which role the sender assigned to the addressee.
+    pub slot: ParentSlot,
+    /// `false` if the sender is *revoking* a previous selection.
+    pub selected: bool,
+}
+
+/// The DIO broadcast (RPL baseline): advertises rank and accumulated path
+/// ETX through the single preferred parent. The preferred parent id stands
+/// in for RPL's DAO child registration (storing mode), which Orchestra's
+/// sender-based schedule needs to derive its receive cells.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Dio {
+    /// Sender's rank.
+    pub rank: Rank,
+    /// Sender's accumulated path ETX to the root.
+    pub path_etx: f64,
+    /// Sender's current preferred parent.
+    pub parent: Option<NodeId>,
+}
+
+/// Output of a routing state machine, to be mapped onto frames by the node
+/// stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingEvent {
+    /// Broadcast a join-in message (DiGS).
+    BroadcastJoinIn(JoinIn),
+    /// Send a joined-callback to a (de)selected parent (DiGS).
+    SendJoinedCallback {
+        /// The parent being informed.
+        to: NodeId,
+        /// The callback content.
+        callback: JoinedCallback,
+    },
+    /// Broadcast a DIO (RPL).
+    BroadcastDio(Dio),
+    /// The node's parent set changed (telemetry for repair-time metrics).
+    ParentsChanged {
+        /// New best parent, if any.
+        best: Option<NodeId>,
+        /// New second-best parent, if any.
+        second: Option<NodeId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_ordering() {
+        assert!(Rank::ROOT < Rank(2));
+        assert!(Rank(5) < Rank::INFINITE);
+        assert!(Rank::INFINITE.is_finite() == false);
+        assert!(Rank::ROOT.is_finite());
+    }
+
+    #[test]
+    fn deeper_increments() {
+        assert_eq!(Rank::ROOT.deeper(), Rank(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot deepen an infinite rank")]
+    fn deeper_on_infinite_panics() {
+        let _ = Rank::INFINITE.deeper();
+    }
+
+    #[test]
+    fn rank_display() {
+        assert_eq!(Rank(3).to_string(), "rank 3");
+        assert_eq!(Rank::INFINITE.to_string(), "rank ∞");
+    }
+}

@@ -1,0 +1,208 @@
+//! The neighbor table: per-neighbor link quality and advertised route cost.
+
+use crate::etx::EtxEstimator;
+use crate::messages::Rank;
+use digs_sim::ids::NodeId;
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+use std::collections::BTreeMap;
+
+/// State kept about one neighbor.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NeighborEntry {
+    /// Link ETX estimate toward this neighbor.
+    pub etx: EtxEstimator,
+    /// RSS of the most recent advertisement heard from this neighbor.
+    pub last_rss: Dbm,
+    /// Neighbor's advertised rank.
+    pub rank: Rank,
+    /// Neighbor's advertised route cost (weighted ETX for DiGS, path ETX
+    /// for RPL).
+    pub advertised_cost: f64,
+    /// When we last heard anything from this neighbor.
+    pub last_heard: Asn,
+    /// Consecutive unacknowledged unicast transmissions to this neighbor.
+    pub consecutive_failures: u32,
+}
+
+impl NeighborEntry {
+    /// Accumulated cost of routing through this neighbor: link ETX plus the
+    /// neighbor's advertised cost (Algorithm 1's
+    /// `ETXa(node, i) = ETX(node, i) + ETXw(i)`).
+    pub fn accumulated_cost(&self) -> f64 {
+        self.etx.etx() + self.advertised_cost
+    }
+}
+
+/// The neighbor table, ordered by id for determinism.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NeighborTable {
+    entries: BTreeMap<NodeId, NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> NeighborTable {
+        NeighborTable::default()
+    }
+
+    /// Records an advertisement (join-in or DIO) from a neighbor, creating
+    /// the entry on first contact with the paper's RSS-based ETX
+    /// initialisation.
+    pub fn record_advertisement(
+        &mut self,
+        from: NodeId,
+        rank: Rank,
+        advertised_cost: f64,
+        rss: Dbm,
+        now: Asn,
+    ) {
+        let entry = self.entries.entry(from).or_insert_with(|| NeighborEntry {
+            etx: EtxEstimator::from_rss(rss),
+            last_rss: rss,
+            rank,
+            advertised_cost,
+            last_heard: now,
+            consecutive_failures: 0,
+        });
+        // Smooth the per-advertisement RSS (channel fading makes single
+        // readings noisy) so eligibility doesn't flap around RSSmin.
+        entry.last_rss = Dbm(0.7 * entry.last_rss.dbm() + 0.3 * rss.dbm());
+        entry.rank = rank;
+        entry.advertised_cost = advertised_cost;
+        entry.last_heard = now;
+        // Link ETX is initialised from RSS on first contact (paper
+        // Section V) but thereafter updated from transmission outcomes
+        // only, as Contiki's link-stats do.
+    }
+
+    /// Records the outcome of a unicast transmission to a neighbor; returns
+    /// the updated consecutive-failure count (0 after a success), or `None`
+    /// if the neighbor is unknown.
+    pub fn record_tx(&mut self, to: NodeId, acked: bool) -> Option<u32> {
+        let entry = self.entries.get_mut(&to)?;
+        entry.etx.record(acked);
+        if acked {
+            entry.consecutive_failures = 0;
+        } else {
+            entry.consecutive_failures += 1;
+        }
+        Some(entry.consecutive_failures)
+    }
+
+    /// Looks up a neighbor.
+    pub fn get(&self, id: NodeId) -> Option<&NeighborEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Removes a neighbor (e.g. presumed dead); returns whether it existed.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Degrades a neighbor's link estimate to the worst value without
+    /// forgetting it: alternatives will now win parent selection, but the
+    /// neighbor can rehabilitate itself through future ACKs and
+    /// advertisements (gentler than [`NeighborTable::remove`], which forces
+    /// a full re-discovery).
+    pub fn degrade(&mut self, id: NodeId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.etx = crate::etx::EtxEstimator::from_etx(crate::etx::ETX_CAP);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over neighbors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Number of known neighbors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops neighbors not heard from since `horizon`; returns the ids
+    /// evicted.
+    pub fn evict_stale(&mut self, horizon: Asn) -> Vec<NodeId> {
+        let stale: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.last_heard < horizon)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &stale {
+            self.entries.remove(id);
+        }
+        stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(from: u16, rank: Rank, cost: f64) -> NeighborTable {
+        let mut t = NeighborTable::new();
+        t.record_advertisement(NodeId(from), rank, cost, Dbm(-55.0), Asn(0));
+        t
+    }
+
+    #[test]
+    fn first_contact_creates_entry() {
+        let t = table_with(4, Rank(2), 1.5);
+        let e = t.get(NodeId(4)).expect("entry exists");
+        assert_eq!(e.rank, Rank(2));
+        assert_eq!(e.advertised_cost, 1.5);
+        // Strong RSS → link ETX ≈ 1 → accumulated ≈ 2.5.
+        assert!((e.accumulated_cost() - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn advertisement_updates_cost_and_rank() {
+        let mut t = table_with(4, Rank(2), 1.5);
+        t.record_advertisement(NodeId(4), Rank(3), 4.0, Dbm(-55.0), Asn(10));
+        let e = t.get(NodeId(4)).expect("entry exists");
+        assert_eq!(e.rank, Rank(3));
+        assert_eq!(e.advertised_cost, 4.0);
+        assert_eq!(e.last_heard, Asn(10));
+    }
+
+    #[test]
+    fn tx_failures_count_consecutively() {
+        let mut t = table_with(4, Rank(2), 1.0);
+        assert_eq!(t.record_tx(NodeId(4), false), Some(1));
+        assert_eq!(t.record_tx(NodeId(4), false), Some(2));
+        assert_eq!(t.record_tx(NodeId(4), true), Some(0));
+        assert_eq!(t.record_tx(NodeId(9), true), None);
+    }
+
+    #[test]
+    fn eviction_drops_silent_neighbors() {
+        let mut t = NeighborTable::new();
+        t.record_advertisement(NodeId(1), Rank(2), 1.0, Dbm(-60.0), Asn(0));
+        t.record_advertisement(NodeId(2), Rank(2), 1.0, Dbm(-60.0), Asn(500));
+        let evicted = t.evict_stale(Asn(100));
+        assert_eq!(evicted, vec![NodeId(1)]);
+        assert!(t.get(NodeId(1)).is_none());
+        assert!(t.get(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut t = NeighborTable::new();
+        for id in [5u16, 1, 3] {
+            t.record_advertisement(NodeId(id), Rank(2), 1.0, Dbm(-60.0), Asn(0));
+        }
+        let ids: Vec<u16> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,386 @@
+//! The RPL baseline (RFC 6550, simplified): the distance-vector routing
+//! protocol with a **single preferred parent** that Orchestra schedules on
+//! top of.
+//!
+//! Differences from [`crate::digs::DigsRouting`], mirroring the paper's
+//! comparison:
+//!
+//! - one preferred parent only — no backup route;
+//! - DIO advertisements carry the plain accumulated path ETX;
+//! - on parent loss the node *detaches* (infinite rank), poisons its
+//!   sub-DODAG with an infinite-rank DIO, and must wait for fresh DIOs to
+//!   rejoin — the source of RPL's long repair times under interference and
+//!   node failure.
+
+use crate::digs::RoutingConfig;
+use crate::messages::{Dio, Rank, RoutingEvent};
+use crate::neighbor::NeighborTable;
+use crate::trickle::Trickle;
+use digs_sim::ids::NodeId;
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+
+/// The per-node RPL state machine.
+#[derive(Debug, Clone)]
+pub struct RplRouting {
+    id: NodeId,
+    is_root: bool,
+    config: RoutingConfig,
+    trickle: Trickle,
+    neighbors: NeighborTable,
+    preferred: Option<NodeId>,
+    rank: Rank,
+    /// Pending poison: broadcast one infinite-rank DIO after detaching.
+    poison_pending: bool,
+    joined_at: Option<Asn>,
+    lockout_until: Asn,
+    parent_changes: u64,
+    last_parent_change: Option<Asn>,
+}
+
+impl RplRouting {
+    /// Creates the state machine; the root (border router / access point)
+    /// starts at rank 1 with path ETX 0.
+    pub fn new(id: NodeId, is_root: bool, config: RoutingConfig, seed: u64, now: Asn) -> RplRouting {
+        RplRouting {
+            id,
+            is_root,
+            config,
+            trickle: Trickle::new(config.trickle, seed ^ u64::from(id.0) << 21, now),
+            neighbors: NeighborTable::new(),
+            preferred: None,
+            rank: if is_root { Rank::ROOT } else { Rank::INFINITE },
+            poison_pending: false,
+            lockout_until: Asn::ZERO,
+            joined_at: if is_root { Some(now) } else { None },
+            parent_changes: 0,
+            last_parent_change: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is the DODAG root.
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// Current rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Current preferred parent.
+    pub fn preferred_parent(&self) -> Option<NodeId> {
+        self.preferred
+    }
+
+    /// Whether the node has joined the DODAG.
+    pub fn is_joined(&self) -> bool {
+        self.is_root || self.preferred.is_some()
+    }
+
+    /// When the node first joined, if it has.
+    pub fn joined_at(&self) -> Option<Asn> {
+        self.joined_at
+    }
+
+    /// Number of parent changes so far (repair telemetry).
+    pub fn parent_changes(&self) -> u64 {
+        self.parent_changes
+    }
+
+    /// When the parent last changed (repair telemetry).
+    pub fn last_parent_change(&self) -> Option<Asn> {
+        self.last_parent_change
+    }
+
+    /// Read access to the neighbor table.
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// Accumulated path ETX advertised in our DIOs.
+    pub fn path_etx(&self) -> f64 {
+        if self.is_root {
+            return 0.0;
+        }
+        self.preferred
+            .and_then(|p| self.neighbors.get(p))
+            .map_or(f64::INFINITY, |e| e.accumulated_cost())
+    }
+
+    /// The DIO the node would broadcast right now.
+    pub fn dio(&self) -> Dio {
+        Dio { rank: self.rank, path_etx: self.path_etx(), parent: self.preferred }
+    }
+
+    /// Handles a received DIO.
+    pub fn on_dio(&mut self, from: NodeId, dio: &Dio, rss: Dbm, now: Asn) -> Vec<RoutingEvent> {
+        self.trickle.hear_consistent();
+        if from == self.id {
+            return Vec::new();
+        }
+        self.neighbors
+            .record_advertisement(from, dio.rank, dio.path_etx, rss, now);
+        if self.is_root {
+            return Vec::new();
+        }
+        self.reevaluate(now)
+    }
+
+    /// Handles the outcome of a unicast transmission to `to`.
+    pub fn on_tx_result(&mut self, to: NodeId, acked: bool, now: Asn) -> Vec<RoutingEvent> {
+        let Some(failures) = self.neighbors.record_tx(to, acked) else {
+            return Vec::new();
+        };
+        if self.preferred == Some(to) && failures >= self.config.parent_failure_threshold {
+            self.neighbors.degrade(to);
+            self.lockout_until = Asn::ZERO; // failure overrides the lockout
+            return self.reevaluate(now);
+        }
+        Vec::new()
+    }
+
+    /// Per-slot housekeeping: eviction, poison emission, Trickle-paced DIOs.
+    pub fn tick(&mut self, now: Asn) -> Vec<RoutingEvent> {
+        let mut events = Vec::new();
+        if now.0 % 64 == u64::from(self.id.0) % 64 && now.0 >= self.config.neighbor_timeout {
+            let horizon = Asn(now.0 - self.config.neighbor_timeout);
+            let evicted = self.neighbors.evict_stale(horizon);
+            if evicted.iter().any(|id| self.preferred == Some(*id)) {
+                self.lockout_until = Asn::ZERO;
+                events.extend(self.reevaluate(now));
+            }
+        }
+        if self.poison_pending {
+            self.poison_pending = false;
+            events.push(RoutingEvent::BroadcastDio(Dio {
+                rank: Rank::INFINITE,
+                path_etx: f64::INFINITY,
+                parent: None,
+            }));
+        }
+        if self.trickle.tick(now) && self.is_joined() {
+            events.push(RoutingEvent::BroadcastDio(self.dio()));
+        }
+        events
+    }
+
+    /// Standard RPL parent selection: cheapest neighbor whose rank is
+    /// strictly below ours-to-be, with hysteresis.
+    fn reevaluate(&mut self, now: Asn) -> Vec<RoutingEvent> {
+        debug_assert!(!self.is_root);
+        let old = self.preferred;
+
+        let mut candidates: Vec<(NodeId, f64, Rank)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, e)| {
+                e.rank.is_finite()
+                    && e.advertised_cost.is_finite()
+                    && e.last_rss.dbm() >= digs_sim::rf::RSS_MIN.dbm()
+            })
+            .map(|(id, e)| (id, e.accumulated_cost(), e.rank))
+            .collect();
+        candidates
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+
+        // Rank rule: once joined, never select a parent whose rank is not
+        // strictly below our own (loop avoidance); a detached node may pick
+        // anyone.
+        let eligible = |rank: Rank| -> bool {
+            if self.rank.is_finite() {
+                rank < self.rank
+            } else {
+                true
+            }
+        };
+        let new = match candidates.iter().find(|(_, _, r)| eligible(*r)) {
+            None => None,
+            Some(&(challenger, ccost, _)) => {
+                // Incumbents must pass the same eligibility bar as
+                // challengers (finite rank/cost, usable RSS).
+                let incumbent = old.and_then(|p| {
+                    candidates
+                        .iter()
+                        .find(|(id, _, _)| *id == p)
+                        .map(|(_, cost, _)| (p, *cost))
+                });
+                match incumbent {
+                    Some((p, cost))
+                        if challenger != p
+                            && (ccost + self.config.hysteresis >= cost
+                                || now < self.lockout_until) =>
+                    {
+                        Some(p)
+                    }
+                    _ => Some(challenger),
+                }
+            }
+        };
+
+        let new_rank = match new.and_then(|p| self.neighbors.get(p)) {
+            Some(e) => e.rank.deeper(),
+            None => Rank::INFINITE,
+        };
+        let detaching = self.rank.is_finite() && !new_rank.is_finite();
+        self.rank = new_rank;
+        if new == old {
+            return Vec::new();
+        }
+        self.preferred = new;
+        self.parent_changes += 1;
+        self.last_parent_change = Some(now);
+        self.lockout_until = Asn(now.0 + self.config.switch_lockout);
+        if self.joined_at.is_none() && new.is_some() {
+            self.joined_at = Some(now);
+        }
+        self.trickle.reset(now);
+        if detaching {
+            self.poison_pending = true;
+        }
+        vec![RoutingEvent::ParentsChanged { best: new, second: None }]
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRONG: Dbm = Dbm(-55.0);
+
+    fn device(id: u16) -> RplRouting {
+        RplRouting::new(NodeId(id), false, RoutingConfig::fast(), 1, Asn(0))
+    }
+
+    fn root_dio() -> Dio {
+        Dio { rank: Rank::ROOT, path_etx: 0.0, parent: None }
+    }
+
+    #[test]
+    fn joins_on_first_dio() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        assert_eq!(d.preferred_parent(), Some(NodeId(0)));
+        assert_eq!(d.rank(), Rank(2));
+        assert!(d.is_joined());
+    }
+
+    #[test]
+    fn single_parent_only() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        d.on_dio(NodeId(1), &root_dio(), STRONG, Asn(2));
+        // Still exactly one preferred parent.
+        assert!(d.preferred_parent().is_some());
+    }
+
+    #[test]
+    fn rank_rule_blocks_deeper_parents() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), Dbm(-88.0), Asn(1));
+        assert_eq!(d.rank(), Rank(2));
+        // A rank-5 node advertises an attractive cost; rank rule forbids it.
+        d.on_dio(NodeId(9), &Dio { rank: Rank(5), path_etx: 0.1, parent: None }, STRONG, Asn(2));
+        assert_eq!(d.preferred_parent(), Some(NodeId(0)));
+    }
+
+    /// Drives the node to eviction-based detachment (the parent went
+    /// silent long enough to be evicted from the neighbor table).
+    fn detach_by_silence(d: &mut RplRouting) -> (u64, Vec<RoutingEvent>) {
+        let timeout = RoutingConfig::fast().neighbor_timeout;
+        let mut now = timeout + 64;
+        while now % 64 != u64::from(d.id().0) % 64 {
+            now += 1;
+        }
+        let events = d.tick(Asn(now));
+        (now, events)
+    }
+
+    #[test]
+    fn parent_loss_detaches_and_poisons_when_no_alternative() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        let (_, events) = detach_by_silence(&mut d);
+        assert!(!d.is_joined());
+        assert_eq!(d.rank(), Rank::INFINITE);
+        // The eviction tick emits the poison DIO along with the detach.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RoutingEvent::BroadcastDio(dio) if !dio.rank.is_finite())),
+            "expected poison DIO, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_sole_parent_is_kept() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        let threshold = RoutingConfig::fast().parent_failure_threshold;
+        for i in 0..u64::from(threshold) {
+            d.on_tx_result(NodeId(0), false, Asn(10 + i));
+        }
+        assert!(d.is_joined(), "no alternative: keep the degraded parent");
+    }
+
+    #[test]
+    fn rejoins_after_detach_on_fresh_dio() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        let (now, _) = detach_by_silence(&mut d);
+        assert!(!d.is_joined());
+        d.on_dio(NodeId(1), &root_dio(), STRONG, Asn(now + 10));
+        assert_eq!(d.preferred_parent(), Some(NodeId(1)));
+        assert!(d.is_joined());
+    }
+
+    #[test]
+    fn switches_to_clearly_better_parent() {
+        let mut d = device(5);
+        // Expensive incumbent: weak link to a deep node (acc ≈ 5.9).
+        d.on_dio(NodeId(7), &Dio { rank: Rank(2), path_etx: 3.0, parent: None }, Dbm(-88.0), Asn(1));
+        assert_eq!(d.preferred_parent(), Some(NodeId(7)));
+        // A strong direct root link (acc ≈ 1.0) clears the hysteresis bar
+        // once the voluntary-switch lockout has expired.
+        let after_lockout = Asn(2 + RoutingConfig::fast().switch_lockout);
+        d.on_dio(NodeId(1), &root_dio(), STRONG, after_lockout);
+        assert_eq!(d.preferred_parent(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn path_etx_accumulates() {
+        let mut d = device(5);
+        d.on_dio(NodeId(7), &Dio { rank: Rank(2), path_etx: 2.0, parent: None }, STRONG, Asn(1));
+        // Link ETX ≈ 1 → path ≈ 3.
+        assert!((d.path_etx() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn root_advertises_zero() {
+        let r = RplRouting::new(NodeId(0), true, RoutingConfig::fast(), 1, Asn(0));
+        assert_eq!(r.path_etx(), 0.0);
+        assert_eq!(r.rank(), Rank::ROOT);
+        assert!(r.is_joined());
+    }
+
+    #[test]
+    fn trickle_paces_dios() {
+        let mut d = device(5);
+        d.on_dio(NodeId(0), &root_dio(), STRONG, Asn(1));
+        let mut emitted = 0;
+        for s in 2..200u64 {
+            emitted += d
+                .tick(Asn(s))
+                .iter()
+                .filter(|e| matches!(e, RoutingEvent::BroadcastDio(_)))
+                .count();
+        }
+        assert!(emitted > 0);
+    }
+}

@@ -1,0 +1,453 @@
+//! The DiGS autonomous scheduler (paper Section VI).
+//!
+//! Each node derives its entire TSCH schedule from local information only:
+//! its node id, the number of access points, the slotframe lengths, and its
+//! routing state (parents from [`digs_routing::DigsRouting`], children from
+//! received joined-callbacks). No schedule negotiation or sharing occurs.
+//!
+//! - **Synchronization slotframe**: node *i* broadcasts its EB in slot
+//!   `i mod L_sync` and listens in its best parent's slot.
+//! - **Routing slotframe**: one fixed shared (CSMA) cell for join-in /
+//!   joined-callback traffic, identical on all nodes.
+//! - **Application slotframe**: Eq. 4 —
+//!   `s = A·(NodeID − N_AP) − A + p` for attempt `p` (with the paper's
+//!   1-based device numbering; equivalently `A·(id − N_AP) + p` for our
+//!   0-based ids) — giving every field device `A` dedicated transmission
+//!   cells per slotframe: attempts 1 to A−1 on the primary route and
+//!   attempt A on the backup route. Parents derive the matching receive
+//!   cells from their child tables.
+
+use crate::slotframe::{
+    combine, frame_offset, node_offset, Cell, CellAction, SlotframeLengths, TrafficClass,
+    ROUTING_OFFSET, ROUTING_SLOT,
+};
+use digs_routing::messages::ParentSlot;
+use digs_sim::ids::NodeId;
+use digs_sim::time::Asn;
+use std::collections::BTreeMap;
+
+/// Default number of scheduled transmission attempts per packet per
+/// application slotframe (two on the primary route, one on the backup).
+pub const DEFAULT_ATTEMPTS: u8 = 3;
+
+/// The autonomous scheduler state for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigsScheduler {
+    id: NodeId,
+    num_aps: u16,
+    lengths: SlotframeLengths,
+    attempts: u8,
+    best_parent: Option<NodeId>,
+    second_parent: Option<NodeId>,
+    /// Children and the role they assigned us.
+    children: BTreeMap<NodeId, ParentSlot>,
+}
+
+impl DigsScheduler {
+    /// Creates a scheduler for `id` in a network with `num_aps` access
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero or the slotframe lengths are invalid.
+    pub fn new(id: NodeId, num_aps: u16, lengths: SlotframeLengths, attempts: u8) -> DigsScheduler {
+        assert!(
+            (1..=8).contains(&attempts),
+            "attempts must be in 1..=8 (WirelessHART schedules at most a handful)"
+        );
+        lengths.validate().expect("valid slotframe lengths");
+        DigsScheduler {
+            id,
+            num_aps,
+            lengths,
+            attempts,
+            best_parent: None,
+            second_parent: None,
+            children: BTreeMap::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of scheduled attempts per packet (the paper's `A`).
+    pub fn attempts(&self) -> u8 {
+        self.attempts
+    }
+
+    /// The slotframe lengths the scheduler was built with.
+    pub fn lengths(&self) -> SlotframeLengths {
+        self.lengths
+    }
+
+    /// Whether this node is an access point.
+    pub fn is_access_point(&self) -> bool {
+        self.id.0 < self.num_aps
+    }
+
+    /// Updates the parent set (called on routing `ParentsChanged` events).
+    /// The schedule updates instantly — this is the paper's headline
+    /// property: "the transmission schedule is automatically determined and
+    /// updated once the network topology changes".
+    pub fn set_parents(&mut self, best: Option<NodeId>, second: Option<NodeId>) {
+        self.best_parent = best;
+        self.second_parent = second;
+    }
+
+    /// Registers a child (from a joined-callback with `selected = true`).
+    pub fn add_child(&mut self, child: NodeId, slot: ParentSlot) {
+        self.children.insert(child, slot);
+    }
+
+    /// Removes a child (revocation callback, or child death).
+    pub fn remove_child(&mut self, child: NodeId) {
+        self.children.remove(&child);
+    }
+
+    /// Currently registered children.
+    pub fn children(&self) -> impl Iterator<Item = (NodeId, ParentSlot)> + '_ {
+        self.children.iter().map(|(id, s)| (*id, *s))
+    }
+
+    /// Eq. 4: the application-slotframe slot of `node`'s attempt `p`
+    /// (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is an access point (they originate no upstream
+    /// data) or `p` is out of `1..=attempts`.
+    pub fn tx_slot(&self, node: NodeId, p: u8) -> u32 {
+        assert!(
+            node.0 >= self.num_aps,
+            "access points have no application transmission cells"
+        );
+        assert!((1..=self.attempts).contains(&p), "attempt out of range");
+        let device_index = u32::from(node.0 - self.num_aps);
+        (u32::from(self.attempts) * device_index + u32::from(p)) % self.lengths.app
+    }
+
+    /// The parent targeted by attempt `p`: attempts `1..A` use the primary
+    /// route; attempt `A` uses the backup route (falling back to the
+    /// primary when no backup exists).
+    pub fn attempt_target(&self, p: u8) -> Option<NodeId> {
+        if p < self.attempts {
+            self.best_parent
+        } else {
+            self.second_parent.or(self.best_parent)
+        }
+    }
+
+    /// The sync-slotframe slot in which `node` broadcasts its EB.
+    pub fn eb_slot(&self, node: NodeId) -> u32 {
+        u32::from(node.0) % self.lengths.sync
+    }
+
+    /// Channel offset of `node`'s attempt-`p` application cell. Attempts
+    /// are spread five offsets apart so a WiFi-wide jammer (four adjacent
+    /// 802.15.4 channels) can cover at most one of a packet's scheduled
+    /// attempts — the WirelessHART practice of retrying on a different
+    /// channel. Both the transmitting child and the listening parent derive
+    /// the same offset from `(node, p)` alone.
+    pub fn attempt_offset(node: NodeId, p: u8) -> digs_sim::channel::ChannelOffset {
+        digs_sim::channel::ChannelOffset::new(((node.0 % 16) as u8).wrapping_add(5 * (p - 1)) % 16)
+    }
+
+    /// Inverts Eq. 4: which attempt number would have `node` transmitting
+    /// in application-slotframe offset `off`? Used by a parent to infer its
+    /// role (primary vs backup) from an actually received data frame, which
+    /// keeps the child table correct even when a joined-callback was lost.
+    pub fn infer_attempt(&self, node: NodeId, off: u32) -> Option<u8> {
+        if node.0 < self.num_aps {
+            return None;
+        }
+        (1..=self.attempts).find(|p| self.tx_slot(node, *p) == off)
+    }
+
+    /// Resolves the combined cell for a slot (`None` = sleep).
+    pub fn cell(&self, asn: Asn) -> Option<Cell> {
+        combine(self.sync_cell(asn), self.routing_cell(asn), self.app_cell(asn))
+    }
+
+    fn sync_cell(&self, asn: Asn) -> Option<Cell> {
+        let off = frame_offset(asn, self.lengths.sync);
+        if off == self.eb_slot(self.id) {
+            return Some(Cell {
+                class: TrafficClass::Sync,
+                action: CellAction::TxBeacon,
+                offset: node_offset(self.id),
+                contention: false,
+            });
+        }
+        if let Some(bp) = self.best_parent {
+            if off == self.eb_slot(bp) {
+                return Some(Cell {
+                    class: TrafficClass::Sync,
+                    action: CellAction::RxBeacon { from: bp },
+                    offset: node_offset(bp),
+                    contention: false,
+                });
+            }
+        }
+        None
+    }
+
+    fn routing_cell(&self, asn: Asn) -> Option<Cell> {
+        if frame_offset(asn, self.lengths.routing) == ROUTING_SLOT {
+            Some(Cell {
+                class: TrafficClass::Routing,
+                action: CellAction::Shared,
+                offset: ROUTING_OFFSET,
+                contention: true,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn app_cell(&self, asn: Asn) -> Option<Cell> {
+        let off = frame_offset(asn, self.lengths.app);
+        // Own transmission cells (field devices with a route only).
+        if !self.is_access_point() {
+            for p in 1..=self.attempts {
+                if off == self.tx_slot(self.id, p) {
+                    if let Some(target) = self.attempt_target(p) {
+                        return Some(Cell {
+                            class: TrafficClass::App,
+                            action: CellAction::TxData { to: target, attempt: p },
+                            offset: Self::attempt_offset(self.id, p),
+                            contention: false,
+                        });
+                    }
+                }
+            }
+        }
+        // Receive cells derived from the child table. A parent listens in
+        // *all* of a child's attempt cells regardless of its nominal role:
+        // nominally, primary parents are reached on attempts 1..A and the
+        // backup on attempt A, but listening to every attempt makes the
+        // schedule immune to role-swap races (a Best↔SecondBest promotion
+        // at the child re-maps its attempts instantly, while the parents
+        // learn of it asynchronously). The cost is idle listening — the
+        // energy overhead the paper attributes to DiGS.
+        for child in self.children.keys() {
+            for p in 1..=self.attempts {
+                if off == self.tx_slot(*child, p) {
+                    return Some(Cell {
+                        class: TrafficClass::App,
+                        action: CellAction::RxData,
+                        offset: Self::attempt_offset(*child, p),
+                        contention: false,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 7 configuration: slotframes 61/11/7, two APs (#1, #2 in the
+    /// paper, ids 0 and 1 here) and two field devices (#3, #4 → ids 2, 3).
+    fn example_scheduler(id: u16) -> DigsScheduler {
+        DigsScheduler::new(NodeId(id), 2, SlotframeLengths::example(), 3)
+    }
+
+    #[test]
+    fn eq4_matches_figure7() {
+        // Paper: #3's three attempts land in app slots 1, 2, 3 and #4's in
+        // slots 4, 5, 6 of the 7-slot application slotframe.
+        let s = example_scheduler(2);
+        assert_eq!(s.tx_slot(NodeId(2), 1), 1);
+        assert_eq!(s.tx_slot(NodeId(2), 2), 2);
+        assert_eq!(s.tx_slot(NodeId(2), 3), 3);
+        assert_eq!(s.tx_slot(NodeId(3), 1), 4);
+        assert_eq!(s.tx_slot(NodeId(3), 2), 5);
+        assert_eq!(s.tx_slot(NodeId(3), 3), 6);
+    }
+
+    #[test]
+    fn tx_slots_wrap_modulo_slotframe() {
+        let s = example_scheduler(2);
+        // Device index 2 (id 4): slots 3*2+p = 7, 8, 9 → wrap to 0, 1, 2.
+        assert_eq!(s.tx_slot(NodeId(4), 1), 0);
+        assert_eq!(s.tx_slot(NodeId(4), 2), 1);
+        assert_eq!(s.tx_slot(NodeId(4), 3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "access points have no application transmission cells")]
+    fn ap_tx_slot_panics() {
+        let s = example_scheduler(2);
+        let _ = s.tx_slot(NodeId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt out of range")]
+    fn attempt_zero_panics() {
+        let s = example_scheduler(2);
+        let _ = s.tx_slot(NodeId(2), 0);
+    }
+
+    #[test]
+    fn attempts_route_primary_then_backup() {
+        let mut s = example_scheduler(2);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(s.attempt_target(1), Some(NodeId(0)));
+        assert_eq!(s.attempt_target(2), Some(NodeId(0)));
+        assert_eq!(s.attempt_target(3), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn backup_attempt_falls_back_to_primary() {
+        let mut s = example_scheduler(2);
+        s.set_parents(Some(NodeId(0)), None);
+        assert_eq!(s.attempt_target(3), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn eb_cell_in_own_slot() {
+        let s = example_scheduler(2);
+        // Node id 2 → EB slot 2 of the 61-slot sync slotframe.
+        let cell = s.cell(Asn(2)).expect("EB cell");
+        assert_eq!(cell.class, TrafficClass::Sync);
+        assert_eq!(cell.action, CellAction::TxBeacon);
+        assert!(!cell.contention);
+    }
+
+    #[test]
+    fn listens_for_parent_beacon() {
+        let mut s = example_scheduler(2);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        // Parent id 0 → EB slot 0; but slot 0 is also the shared routing
+        // slot — sync must win the combination (paper's Fig. 7 narrative:
+        // nodes with sync traffic in the first slot use it for sync).
+        let cell = s.cell(Asn(0)).expect("cell");
+        assert_eq!(cell.class, TrafficClass::Sync);
+        assert_eq!(cell.action, CellAction::RxBeacon { from: NodeId(0) });
+    }
+
+    #[test]
+    fn routing_shared_slot_when_no_sync() {
+        let s = example_scheduler(2);
+        // ASN 11 → routing offset 0 (shared slot), sync offset 11 (no EB for
+        // id 2 or parents), app offset 4 (no cells for a parent-less node).
+        let cell = s.cell(Asn(11)).expect("cell");
+        assert_eq!(cell.class, TrafficClass::Routing);
+        assert_eq!(cell.action, CellAction::Shared);
+        assert!(cell.contention);
+    }
+
+    #[test]
+    fn app_tx_cell_after_joining() {
+        let mut s = example_scheduler(2);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        // ASN 8: sync off 8 (idle), routing off 8 (idle), app off 1 →
+        // attempt 1 toward the primary parent.
+        let cell = s.cell(Asn(8)).expect("cell");
+        assert_eq!(cell.class, TrafficClass::App);
+        assert_eq!(cell.action, CellAction::TxData { to: NodeId(0), attempt: 1 });
+        assert!(!cell.contention);
+    }
+
+    #[test]
+    fn unjoined_node_has_no_app_tx() {
+        let s = example_scheduler(2);
+        for asn in 0..4697u64 {
+            if let Some(cell) = s.cell(Asn(asn)) {
+                assert!(
+                    !matches!(cell.action, CellAction::TxData { .. }),
+                    "unjoined node scheduled a data tx at {asn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_listens_in_primary_childs_slots() {
+        let mut ap = example_scheduler(0);
+        ap.add_child(NodeId(2), ParentSlot::Best);
+        // Child 2's attempt cells are app slots 1, 2, 3; the parent listens
+        // in all of them (role-agnostic over-listening).
+        let mut rx_slots = Vec::new();
+        for asn in 0..7u64 {
+            if let Some(cell) = ap.cell(Asn(asn)) {
+                if cell.action == CellAction::RxData {
+                    rx_slots.push(asn);
+                }
+            }
+        }
+        assert_eq!(rx_slots, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn backup_parent_listens_in_childs_attempt_slots() {
+        let mut ap = example_scheduler(1);
+        ap.add_child(NodeId(2), ParentSlot::SecondBest);
+        let mut rx_slots = Vec::new();
+        for asn in 0..7u64 {
+            if let Some(cell) = ap.cell(Asn(asn)) {
+                if cell.action == CellAction::RxData {
+                    rx_slots.push(asn);
+                }
+            }
+        }
+        // Slot 1 is masked by this AP's own EB slot (sync priority); the
+        // remaining attempt cells of the child are listened on.
+        assert_eq!(rx_slots, vec![2, 3]);
+    }
+
+    #[test]
+    fn removed_child_frees_rx_cells() {
+        let mut ap = example_scheduler(0);
+        ap.add_child(NodeId(2), ParentSlot::Best);
+        ap.remove_child(NodeId(2));
+        for asn in 0..7u64 {
+            if let Some(cell) = ap.cell(Asn(asn)) {
+                assert_ne!(cell.action, CellAction::RxData);
+            }
+        }
+    }
+
+    #[test]
+    fn no_negotiation_identical_schedules_from_identical_state() {
+        let mut a = example_scheduler(2);
+        let mut b = example_scheduler(2);
+        a.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        b.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        for asn in 0..4697u64 {
+            assert_eq!(a.cell(Asn(asn)), b.cell(Asn(asn)));
+        }
+    }
+
+    #[test]
+    fn schedule_repeats_with_hyper_period() {
+        let mut s = example_scheduler(2);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        let hp = SlotframeLengths::example().hyper_period();
+        for asn in 0..200u64 {
+            assert_eq!(s.cell(Asn(asn)), s.cell(Asn(asn + hp)));
+        }
+    }
+
+    #[test]
+    fn paper_lengths_give_collision_free_cells_for_testbed_a() {
+        // 48 field devices × 3 attempts = 144 distinct slots < 151: no two
+        // devices share an application slot.
+        let lengths = SlotframeLengths::paper();
+        let s = DigsScheduler::new(NodeId(2), 2, lengths, 3);
+        let mut used = std::collections::HashSet::new();
+        for id in 2..50u16 {
+            for p in 1..=3u8 {
+                assert!(
+                    used.insert(s.tx_slot(NodeId(id), p)),
+                    "slot collision for node {id} attempt {p}"
+                );
+            }
+        }
+    }
+}

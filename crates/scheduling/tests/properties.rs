@@ -1,0 +1,144 @@
+//! Property-based tests for the scheduling crate.
+
+use digs_routing::messages::ParentSlot;
+use digs_scheduling::analysis::{contention_probability, skip_probability, SlotframeOccupancy};
+use digs_scheduling::slotframe::{combine, Cell, CellAction, TrafficClass};
+use digs_scheduling::{DigsScheduler, OrchestraScheduler, SlotframeLengths};
+use digs_sim::channel::ChannelOffset;
+use digs_sim::ids::NodeId;
+use digs_sim::time::Asn;
+use proptest::prelude::*;
+
+fn any_cell(class: TrafficClass) -> Cell {
+    Cell {
+        class,
+        action: CellAction::TxBeacon,
+        offset: ChannelOffset::new(0),
+        contention: false,
+    }
+}
+
+proptest! {
+    /// Schedule combination always returns the highest-priority non-idle
+    /// class, and `None` only when every class is idle.
+    #[test]
+    fn combination_priority_total(s in any::<bool>(), r in any::<bool>(), a in any::<bool>()) {
+        let sync = s.then(|| any_cell(TrafficClass::Sync));
+        let routing = r.then(|| any_cell(TrafficClass::Routing));
+        let app = a.then(|| any_cell(TrafficClass::App));
+        let combined = combine(sync, routing, app);
+        match combined {
+            None => prop_assert!(!s && !r && !a),
+            Some(cell) => {
+                let expected = if s {
+                    TrafficClass::Sync
+                } else if r {
+                    TrafficClass::Routing
+                } else {
+                    TrafficClass::App
+                };
+                prop_assert_eq!(cell.class, expected);
+            }
+        }
+    }
+
+    /// Over one full application slotframe, a joined DiGS node is offered
+    /// exactly `A` transmission cells (minus any masked by higher-priority
+    /// slotframes), and they target only its two parents.
+    #[test]
+    fn digs_tx_cells_per_frame(id in 2u16..50, frame in 0u64..20) {
+        let lengths = SlotframeLengths::paper();
+        let mut s = DigsScheduler::new(NodeId(id), 2, lengths, 3);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        let start = frame * u64::from(lengths.app);
+        let mut tx = 0;
+        for asn in start..start + u64::from(lengths.app) {
+            if let Some(cell) = s.cell(Asn(asn)) {
+                if let CellAction::TxData { to, .. } = cell.action {
+                    tx += 1;
+                    prop_assert!(to == NodeId(0) || to == NodeId(1));
+                }
+            }
+        }
+        prop_assert!(tx <= 3);
+        prop_assert!(tx >= 1, "higher-priority frames can mask at most 2 of 3 cells");
+    }
+
+    /// Attempt channel offsets are valid and distinct across a packet's
+    /// attempts (the jam-resilience property).
+    #[test]
+    fn attempt_offsets_distinct(id in 0u16..1000) {
+        let offs: Vec<u8> = (1..=3u8)
+            .map(|p| DigsScheduler::attempt_offset(NodeId(id), p).0)
+            .collect();
+        prop_assert!(offs.iter().all(|o| *o < 16));
+        prop_assert_ne!(offs[0], offs[1]);
+        prop_assert_ne!(offs[1], offs[2]);
+        prop_assert_ne!(offs[0], offs[2]);
+    }
+
+    /// An Orchestra node's schedule contains at most one data transmission
+    /// cell per unicast slotframe.
+    #[test]
+    fn orchestra_single_attempt_per_frame(id in 2u16..50, parent in 0u16..2, frame in 0u64..20) {
+        let lengths = SlotframeLengths::paper();
+        let mut s = OrchestraScheduler::new(NodeId(id), lengths);
+        s.set_parent(Some(NodeId(parent)));
+        let start = frame * u64::from(lengths.app);
+        let tx = (start..start + u64::from(lengths.app))
+            .filter(|asn| {
+                matches!(
+                    s.cell(Asn(*asn)).map(|c| c.action),
+                    Some(CellAction::TxData { .. })
+                )
+            })
+            .count();
+        prop_assert!(tx <= 1);
+    }
+
+    /// Eq. 5's contention probability is a valid probability, increasing
+    /// in the offered load.
+    #[test]
+    fn eq5_is_probability(t1 in 0.0f64..5.0, t2 in 0.0f64..5.0, n in 1u32..300, l in 1u32..600) {
+        let p1 = contention_probability(t1.min(t2), n, l);
+        let p2 = contention_probability(t1.max(t2), n, l);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!((0.0..=1.0).contains(&p2));
+        prop_assert!(p1 <= p2 + 1e-12);
+    }
+
+    /// Eq. 6's skip probability grows monotonically as higher-priority
+    /// slotframes are added, and stays a probability.
+    #[test]
+    fn eq6_monotone_in_interferers(
+        frames in prop::collection::vec((1u32..600, 0u32..20), 0..6)
+    ) {
+        let occ: Vec<SlotframeOccupancy> = frames
+            .iter()
+            .map(|(len, occ)| SlotframeOccupancy { length: *len, occupied: (*occ).min(*len) })
+            .collect();
+        let mut prev = 0.0;
+        for k in 0..=occ.len() {
+            let p = skip_probability(&occ[..k]);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    /// The scheduler's receive cells always sit exactly on registered
+    /// children's attempt slots.
+    #[test]
+    fn rx_cells_match_child_slots(child in 2u16..50, asn in 0u64..100_000) {
+        let lengths = SlotframeLengths::paper();
+        let mut parent = DigsScheduler::new(NodeId(0), 2, lengths, 3);
+        parent.add_child(NodeId(child), ParentSlot::Best);
+        if let Some(cell) = parent.cell(Asn(asn)) {
+            if cell.action == CellAction::RxData {
+                let off = Asn(asn).slotframe_offset(lengths.app);
+                let matches_child = (1..=3u8).any(|p| parent.tx_slot(NodeId(child), p) == off);
+                prop_assert!(matches_child, "rx cell at offset {} matches no attempt", off);
+            }
+        }
+    }
+}

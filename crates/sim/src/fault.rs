@@ -1,0 +1,253 @@
+//! Scripted node failures.
+//!
+//! The paper's failure experiment turns off four nodes on the routing graph
+//! in turn (Section VII-B). A [`FaultPlan`] holds the schedule of outages;
+//! the engine consults it each slot and simply stops invoking a dead node's
+//! stack (the radio falls silent, exactly like pulling a mote's battery).
+
+use crate::ids::NodeId;
+use crate::time::Asn;
+
+/// One scheduled outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Outage {
+    /// Node that fails.
+    pub node: NodeId,
+    /// First slot in which the node is dead.
+    pub from: Asn,
+    /// First slot in which the node is alive again (`None` = never recovers).
+    pub until: Option<Asn>,
+}
+
+impl Outage {
+    /// A permanent failure starting at `from`.
+    pub fn permanent(node: NodeId, from: Asn) -> Outage {
+        Outage { node, from, until: None }
+    }
+
+    /// A transient failure over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn transient(node: NodeId, from: Asn, until: Asn) -> Outage {
+        assert!(until > from, "outage must end after it starts");
+        Outage { node, from, until: Some(until) }
+    }
+
+    /// Whether this outage covers `asn`.
+    pub fn covers(&self, asn: Asn) -> bool {
+        asn >= self.from && self.until.is_none_or(|u| asn < u)
+    }
+}
+
+/// One scheduled *link* outage: the radio path between two nodes is
+/// obstructed (in both directions) for a window — e.g. a vehicle parked in
+/// front of an antenna, or a door closing on a corridor path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LinkOutage {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// First slot in which the link is down.
+    pub from: Asn,
+    /// First slot in which the link works again (`None` = never).
+    pub until: Option<Asn>,
+}
+
+impl LinkOutage {
+    /// A permanent link break starting at `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn permanent(a: NodeId, b: NodeId, from: Asn) -> LinkOutage {
+        assert_ne!(a, b, "a link needs two distinct endpoints");
+        LinkOutage { a, b, from, until: None }
+    }
+
+    /// A transient link break over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or `until <= from`.
+    pub fn transient(a: NodeId, b: NodeId, from: Asn, until: Asn) -> LinkOutage {
+        assert_ne!(a, b, "a link needs two distinct endpoints");
+        assert!(until > from, "outage must end after it starts");
+        LinkOutage { a, b, from, until: Some(until) }
+    }
+
+    /// Whether this outage affects the (unordered) pair at `asn`.
+    pub fn covers(&self, x: NodeId, y: NodeId, asn: Asn) -> bool {
+        let same_pair = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        same_pair && asn >= self.from && self.until.is_none_or(|u| asn < u)
+    }
+}
+
+/// The full failure schedule for a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    outages: Vec<Outage>,
+    link_outages: Vec<LinkOutage>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every node is alive for the whole run.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an outage to the plan.
+    pub fn with(mut self, outage: Outage) -> FaultPlan {
+        self.outages.push(outage);
+        self
+    }
+
+    /// Adds an outage in place.
+    pub fn push(&mut self, outage: Outage) {
+        self.outages.push(outage);
+    }
+
+    /// Adds a link outage to the plan.
+    pub fn with_link(mut self, outage: LinkOutage) -> FaultPlan {
+        self.link_outages.push(outage);
+        self
+    }
+
+    /// Adds a link outage in place.
+    pub fn push_link(&mut self, outage: LinkOutage) {
+        self.link_outages.push(outage);
+    }
+
+    /// Whether `node` is alive at `asn`.
+    pub fn is_alive(&self, node: NodeId, asn: Asn) -> bool {
+        !self.outages.iter().any(|o| o.node == node && o.covers(asn))
+    }
+
+    /// Whether the radio path between `a` and `b` is usable at `asn`.
+    pub fn is_link_up(&self, a: NodeId, b: NodeId, asn: Asn) -> bool {
+        !self.link_outages.iter().any(|o| o.covers(a, b, asn))
+    }
+
+    /// Whether the plan contains any link outages (fast path for the
+    /// engine's per-candidate check).
+    pub fn has_link_outages(&self) -> bool {
+        !self.link_outages.is_empty()
+    }
+
+    /// All outages in the plan.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// All link outages in the plan.
+    pub fn link_outages(&self) -> &[LinkOutage] {
+        &self.link_outages
+    }
+
+    /// The paper's Fig. 11 scenario: turn off the given nodes *in turn*,
+    /// each for `each_secs` seconds, starting at `start`, one after another.
+    pub fn in_turn(nodes: &[NodeId], start: Asn, each_secs: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        let each = Asn::from_secs(each_secs).0;
+        for (i, node) in nodes.iter().enumerate() {
+            let from = Asn(start.0 + i as u64 * each);
+            plan.push(Outage::transient(*node, from, Asn(from.0 + each)));
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_everyone_alive() {
+        let p = FaultPlan::none();
+        assert!(p.is_alive(NodeId(3), Asn(12345)));
+    }
+
+    #[test]
+    fn permanent_outage() {
+        let p = FaultPlan::none().with(Outage::permanent(NodeId(2), Asn(100)));
+        assert!(p.is_alive(NodeId(2), Asn(99)));
+        assert!(!p.is_alive(NodeId(2), Asn(100)));
+        assert!(!p.is_alive(NodeId(2), Asn(1_000_000)));
+        assert!(p.is_alive(NodeId(3), Asn(100)));
+    }
+
+    #[test]
+    fn transient_outage_ends() {
+        let p = FaultPlan::none().with(Outage::transient(NodeId(1), Asn(10), Asn(20)));
+        assert!(p.is_alive(NodeId(1), Asn(9)));
+        assert!(!p.is_alive(NodeId(1), Asn(10)));
+        assert!(!p.is_alive(NodeId(1), Asn(19)));
+        assert!(p.is_alive(NodeId(1), Asn(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must end after it starts")]
+    fn inverted_outage_panics() {
+        let _ = Outage::transient(NodeId(0), Asn(20), Asn(10));
+    }
+
+    #[test]
+    fn in_turn_staggers_failures() {
+        let nodes = [NodeId(5), NodeId(6)];
+        let p = FaultPlan::in_turn(&nodes, Asn::from_secs(10), 30);
+        // Node 5 dead during [10 s, 40 s), node 6 during [40 s, 70 s).
+        assert!(!p.is_alive(NodeId(5), Asn::from_secs(15)));
+        assert!(p.is_alive(NodeId(6), Asn::from_secs(15)));
+        assert!(p.is_alive(NodeId(5), Asn::from_secs(45)));
+        assert!(!p.is_alive(NodeId(6), Asn::from_secs(45)));
+        assert!(p.is_alive(NodeId(5), Asn::from_secs(75)));
+        assert!(p.is_alive(NodeId(6), Asn::from_secs(75)));
+    }
+
+    #[test]
+    fn overlapping_outages_union() {
+        let p = FaultPlan::none()
+            .with(Outage::transient(NodeId(1), Asn(0), Asn(10)))
+            .with(Outage::transient(NodeId(1), Asn(5), Asn(15)));
+        assert!(!p.is_alive(NodeId(1), Asn(12)));
+        assert!(p.is_alive(NodeId(1), Asn(15)));
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+
+    #[test]
+    fn link_outage_symmetric_window() {
+        let p = FaultPlan::none()
+            .with_link(LinkOutage::transient(NodeId(1), NodeId(2), Asn(10), Asn(20)));
+        assert!(p.is_link_up(NodeId(1), NodeId(2), Asn(9)));
+        assert!(!p.is_link_up(NodeId(1), NodeId(2), Asn(10)));
+        assert!(!p.is_link_up(NodeId(2), NodeId(1), Asn(15)), "both directions break");
+        assert!(p.is_link_up(NodeId(1), NodeId(2), Asn(20)));
+        // Unrelated pairs are untouched.
+        assert!(p.is_link_up(NodeId(1), NodeId(3), Asn(15)));
+        assert!(p.has_link_outages());
+    }
+
+    #[test]
+    fn permanent_link_break_never_recovers() {
+        let p = FaultPlan::none().with_link(LinkOutage::permanent(NodeId(4), NodeId(5), Asn(0)));
+        assert!(!p.is_link_up(NodeId(5), NodeId(4), Asn(1_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct endpoints")]
+    fn self_link_outage_panics() {
+        let _ = LinkOutage::permanent(NodeId(3), NodeId(3), Asn(0));
+    }
+
+    #[test]
+    fn empty_plan_has_no_link_outages() {
+        assert!(!FaultPlan::none().has_link_outages());
+        assert!(FaultPlan::none().is_link_up(NodeId(0), NodeId(1), Asn(5)));
+    }
+}

@@ -1,0 +1,202 @@
+//! The link model: per-link received signal strength with frozen shadowing,
+//! per-channel frequency-selective fading, and per-slot fast fading.
+
+use crate::ids::NodeId;
+use crate::channel::PhysChannel;
+use crate::rf::{Dbm, RfConfig};
+use crate::rng;
+use crate::time::Asn;
+use crate::topology::Topology;
+
+/// Computes received signal strength for any (transmitter, receiver,
+/// channel, slot) tuple, deterministically under a seed.
+///
+/// The RSS decomposes as
+///
+/// ```text
+/// RSS = TXpower − PL(d) − floors·att + shadow(link) + fade(link, ch) + fast(link, ch, asn)
+/// ```
+///
+/// where `shadow` is frozen log-normal shadowing (symmetric per link),
+/// `fade` is frozen per-channel frequency-selective fading — the reason TSCH
+/// hops channels — and `fast` is small per-slot variation.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    rf: RfConfig,
+    seed: u64,
+    /// Cached per-pair static component (path loss + floors + shadowing),
+    /// indexed `tx * n + rx`.
+    static_rss: Vec<f64>,
+    n: usize,
+}
+
+impl LinkModel {
+    /// Builds the model for a topology.
+    pub fn new(topology: &Topology, rf: RfConfig, seed: u64) -> LinkModel {
+        let n = topology.len();
+        let mut static_rss = vec![f64::NEG_INFINITY; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (lo, hi) = (a.min(b), a.max(b));
+                let pa = topology.position(NodeId(a as u16));
+                let pb = topology.position(NodeId(b as u16));
+                let d = pa.distance(&pb);
+                let floors = pa.floors_between(&pb, rf.floor_height_m);
+                let shadow =
+                    rng::standard_normal(seed, lo as u64, hi as u64, 0) * rf.shadowing_sigma_db;
+                static_rss[a * n + b] = rf.tx_power.dbm()
+                    - rf.path_loss_db(d)
+                    - f64::from(floors) * rf.floor_attenuation_db
+                    + shadow;
+            }
+        }
+        LinkModel { rf, seed, static_rss, n }
+    }
+
+    /// The RF configuration the model was built with.
+    pub fn rf(&self) -> &RfConfig {
+        &self.rf
+    }
+
+    /// Static (time- and channel-independent) RSS component of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx == rx` or either id is out of range.
+    pub fn static_rss(&self, tx: NodeId, rx: NodeId) -> Dbm {
+        assert_ne!(tx, rx, "a node cannot transmit to itself");
+        Dbm(self.static_rss[tx.index() * self.n + rx.index()])
+    }
+
+    /// Full instantaneous RSS on a physical channel at a slot.
+    pub fn rss(&self, tx: NodeId, rx: NodeId, channel: PhysChannel, asn: Asn) -> Dbm {
+        let base = self.static_rss(tx, rx).dbm();
+        let (lo, hi) = (tx.index().min(rx.index()), tx.index().max(rx.index()));
+        let key = (lo * self.n + hi) as u64;
+        let fade = rng::standard_normal(self.seed ^ 0xfade, key, u64::from(channel.0), 1)
+            * self.rf.fading_sigma_db;
+        let fast = rng::standard_normal(self.seed ^ 0xfa57, key, u64::from(channel.0), asn.0 + 2)
+            * self.rf.fast_fading_sigma_db;
+        Dbm(base + fade + fast)
+    }
+
+    /// Expected RSS averaged over channels (used for ETX initialisation and
+    /// by the centralized manager's link-state database).
+    pub fn mean_rss(&self, tx: NodeId, rx: NodeId) -> Dbm {
+        self.static_rss(tx, rx)
+    }
+
+    /// Whether a transmitter is within carrier-sense range of a listener:
+    /// its static signal exceeds the CCA threshold (-85 dBm, CC2420 default).
+    pub fn in_carrier_sense_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.static_rss(a, b).dbm() > -85.0
+    }
+
+    /// Number of nodes the model covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the model is empty (no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn model() -> LinkModel {
+        LinkModel::new(&Topology::testbed_a(), RfConfig::indoor(), 42)
+    }
+
+    #[test]
+    fn static_rss_is_symmetric() {
+        let m = model();
+        let a = NodeId(3);
+        let b = NodeId(17);
+        // Path loss and shadowing are symmetric by construction.
+        assert!((m.static_rss(a, b).dbm() - m.static_rss(b, a).dbm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_deterministic_per_seed() {
+        let m1 = model();
+        let m2 = model();
+        let r1 = m1.rss(NodeId(2), NodeId(9), PhysChannel(4), Asn(100));
+        let r2 = m2.rss(NodeId(2), NodeId(9), PhysChannel(4), Asn(100));
+        assert_eq!(r1.dbm(), r2.dbm());
+    }
+
+    #[test]
+    fn rss_varies_across_channels() {
+        let m = model();
+        let r1 = m.rss(NodeId(2), NodeId(9), PhysChannel(0), Asn(0));
+        let r2 = m.rss(NodeId(2), NodeId(9), PhysChannel(8), Asn(0));
+        assert_ne!(r1.dbm(), r2.dbm(), "frequency-selective fading expected");
+    }
+
+    #[test]
+    fn rss_varies_over_time_slightly() {
+        let m = model();
+        let r1 = m.rss(NodeId(2), NodeId(9), PhysChannel(0), Asn(0));
+        let r2 = m.rss(NodeId(2), NodeId(9), PhysChannel(0), Asn(1));
+        assert_ne!(r1.dbm(), r2.dbm());
+        // Fast fading is small.
+        assert!((r1.dbm() - r2.dbm()).abs() < 10.0);
+    }
+
+    #[test]
+    fn nearby_link_stronger_than_far_link() {
+        let topo = Topology::testbed_a();
+        let m = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+        // Find nearest and farthest neighbors of node 5.
+        let me = NodeId(5);
+        let mut best = (NodeId(0), f64::MAX);
+        let mut worst = (NodeId(0), 0.0f64);
+        for other in topo.node_ids() {
+            if other == me {
+                continue;
+            }
+            let d = topo.distance(me, other);
+            if d < best.1 {
+                best = (other, d);
+            }
+            if d > worst.1 {
+                worst = (other, d);
+            }
+        }
+        assert!(m.static_rss(me, best.0).dbm() > m.static_rss(me, worst.0).dbm());
+    }
+
+    #[test]
+    fn floor_penetration_attenuates() {
+        let topo = Topology::testbed_b();
+        let m = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+        // Pick an upper-floor node and compare same-distance-ish links.
+        let upper = topo
+            .node_ids()
+            .find(|id| topo.position(*id).z > 1.0)
+            .expect("testbed B has an upper floor");
+        let ap = NodeId(0);
+        let d = topo.distance(upper, ap);
+        let rss_through_floor = m.static_rss(upper, ap).dbm();
+        let expected_same_floor = m.rf().tx_power.dbm() - m.rf().path_loss_db(d);
+        assert!(
+            rss_through_floor < expected_same_floor - 10.0,
+            "floor attenuation should cost ≥ 10 dB"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot transmit to itself")]
+    fn self_link_panics() {
+        let m = model();
+        let _ = m.static_rss(NodeId(1), NodeId(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic randomness helpers.
+//!
+//! The simulator must be fully reproducible under a seed: per-link shadowing
+//! and per-channel fading are *frozen* functions of (seed, link, channel)
+//! computed by hashing, while per-transmission noise uses a single
+//! [`SmallRng`] owned by the engine.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the engine's RNG from a user seed.
+pub fn engine_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// A deterministic 64-bit mix of the inputs (SplitMix64 finalizer), used to
+/// derive frozen per-link randomness without storing it.
+pub fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(c.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform sample in `[0, 1)` derived deterministically from the inputs.
+pub fn uniform01(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    // 53 high bits → uniform double in [0, 1).
+    (mix(seed, a, b, c) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard-normal sample derived deterministically from the inputs
+/// (Box–Muller over two mixed uniforms).
+pub fn standard_normal(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let u1 = uniform01(seed, a, b, c).max(1e-12);
+    let u2 = uniform01(seed ^ 0x5851_f42d_4c95_7f2d, a, b, c);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a standard-normal value from a live RNG.
+pub fn sample_normal(rng: &mut SmallRng) -> f64 {
+    let u1 = rng.gen_range(1e-12..1.0f64);
+    let u2 = rng.gen_range(0.0..1.0f64);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix(1, 2, 3, 4), mix(1, 2, 3, 4));
+        assert_ne!(mix(1, 2, 3, 4), mix(1, 2, 3, 5));
+        assert_ne!(mix(1, 2, 3, 4), mix(2, 2, 3, 4));
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        for i in 0..1000 {
+            let u = uniform01(42, i, i * 7, i * 13);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform01_is_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| uniform01(7, i, 0, 0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| standard_normal(11, i, 1, 2)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn engine_rng_reproducible() {
+        let mut a = engine_rng(9);
+        let mut b = engine_rng(9);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn live_normal_moments() {
+        let mut rng = engine_rng(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}

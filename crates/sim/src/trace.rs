@@ -1,0 +1,120 @@
+//! Aggregate simulation statistics collected by the engine.
+
+use crate::packet::FrameKind;
+use core::fmt;
+
+/// Counters the engine maintains while running, broken down by traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KindCounters {
+    /// Frames put on the air.
+    pub transmitted: u64,
+    /// Frame receptions delivered to a stack (one per successful listener).
+    pub received: u64,
+    /// Unicast transmissions that were acknowledged.
+    pub acked: u64,
+    /// Unicast transmissions that were not acknowledged.
+    pub unacked: u64,
+}
+
+/// Engine-level statistics across all nodes and traffic classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineStats {
+    /// Beacon traffic counters.
+    pub beacon: KindCounters,
+    /// Routing traffic counters.
+    pub routing: KindCounters,
+    /// Application data counters.
+    pub data: KindCounters,
+    /// Management (centralized dissemination) counters.
+    pub management: KindCounters,
+    /// Transmissions deferred by a busy CCA in shared slots.
+    pub cca_deferrals: u64,
+    /// Unicast DATA transmissions that failed because the addressee was not
+    /// listening on the transmit channel at all (schedule mismatch), as
+    /// opposed to frame/ACK loss.
+    pub unacked_no_listener: u64,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+impl EngineStats {
+    /// Mutable counters for a traffic class.
+    pub fn kind_mut(&mut self, kind: FrameKind) -> &mut KindCounters {
+        match kind {
+            FrameKind::Beacon => &mut self.beacon,
+            FrameKind::Routing => &mut self.routing,
+            FrameKind::Data => &mut self.data,
+            FrameKind::Management => &mut self.management,
+        }
+    }
+
+    /// Counters for a traffic class.
+    pub fn kind(&self, kind: FrameKind) -> &KindCounters {
+        match kind {
+            FrameKind::Beacon => &self.beacon,
+            FrameKind::Routing => &self.routing,
+            FrameKind::Data => &self.data,
+            FrameKind::Management => &self.management,
+        }
+    }
+
+    /// Total frames transmitted across classes.
+    pub fn total_transmitted(&self) -> u64 {
+        self.beacon.transmitted
+            + self.routing.transmitted
+            + self.data.transmitted
+            + self.management.transmitted
+    }
+
+    /// Link-layer delivery ratio for unicast data frames
+    /// (acked / (acked + unacked)), or `None` if no unicast data was sent.
+    pub fn data_link_delivery_ratio(&self) -> Option<f64> {
+        let total = self.data.acked + self.data.unacked;
+        if total == 0 {
+            None
+        } else {
+            Some(self.data.acked as f64 / total as f64)
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slots {}: tx {} (beacon {}, routing {}, data {}, mgmt {}), cca-deferrals {}",
+            self.slots,
+            self.total_transmitted(),
+            self.beacon.transmitted,
+            self.routing.transmitted,
+            self.data.transmitted,
+            self.management.transmitted,
+            self.cca_deferrals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_mut_routes_to_right_counter() {
+        let mut s = EngineStats::default();
+        s.kind_mut(FrameKind::Data).transmitted += 2;
+        s.kind_mut(FrameKind::Beacon).transmitted += 1;
+        assert_eq!(s.data.transmitted, 2);
+        assert_eq!(s.beacon.transmitted, 1);
+        assert_eq!(s.total_transmitted(), 3);
+        assert_eq!(s.kind(FrameKind::Data).transmitted, 2);
+    }
+
+    #[test]
+    fn link_delivery_ratio() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.data_link_delivery_ratio(), None);
+        s.data.acked = 3;
+        s.data.unacked = 1;
+        assert_eq!(s.data_link_delivery_ratio(), Some(0.75));
+    }
+}

@@ -1,0 +1,173 @@
+//! Centralized reliable-graph construction (Han et al., RTAS 2011 style).
+//!
+//! The manager computes the uplink graph globally:
+//!
+//! 1. hop counts are computed from the access points by BFS over usable
+//!    links;
+//! 2. devices are processed in increasing hop count; each selects up to two
+//!    parents from the already-ordered prefix (strictly smaller hop count,
+//!    or equal hop count but earlier in the ordering), ranked by
+//!    accumulated ETX;
+//! 3. the ordering guarantees acyclicity; two parents give WirelessHART its
+//!    required route diversity.
+
+use crate::linkdb::LinkDb;
+use digs_routing::graph::{GraphEntry, RoutingGraph};
+use digs_routing::messages::Rank;
+use digs_sim::ids::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Builds the uplink routing graph toward `roots` from the manager's link
+/// database. Devices unreachable over usable links are left out of the
+/// graph (they would stay unjoined in the real network too).
+pub fn build_uplink_graph(db: &LinkDb, roots: &[NodeId]) -> RoutingGraph {
+    // 1. Hop counts by BFS from all roots.
+    let mut hops: BTreeMap<NodeId, u32> = roots.iter().map(|r| (*r, 0)).collect();
+    let mut queue: VecDeque<NodeId> = roots.iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        let h = hops[&n];
+        for (m, _) in db.neighbors(n) {
+            hops.entry(m).or_insert_with(|| {
+                queue.push_back(m);
+                h + 1
+            });
+        }
+    }
+
+    // 2. Order devices by (hop, id); accumulate path cost as we commit.
+    let mut order: Vec<NodeId> = hops
+        .keys()
+        .copied()
+        .filter(|n| !roots.contains(n))
+        .collect();
+    order.sort_by_key(|n| (hops[n], *n));
+
+    let mut graph = RoutingGraph::new(roots.iter().copied());
+    // Accumulated best-path cost, used for parent ranking.
+    let mut path_cost: BTreeMap<NodeId, f64> = roots.iter().map(|r| (*r, 0.0)).collect();
+    let mut committed: BTreeMap<NodeId, usize> = roots
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, i))
+        .collect();
+
+    for (idx, node) in order.iter().enumerate() {
+        let my_hop = hops[node];
+        let my_order = roots.len() + idx;
+        // Candidates: committed nodes with smaller hop, or equal hop but
+        // earlier order (prevents cycles among same-hop nodes).
+        let mut cands: Vec<(NodeId, f64)> = db
+            .neighbors(*node)
+            .into_iter()
+            .filter_map(|(nbr, link_etx)| {
+                let nbr_order = *committed.get(&nbr)?;
+                let nbr_hop = hops[&nbr];
+                let eligible = nbr_hop < my_hop || (nbr_hop == my_hop && nbr_order < my_order);
+                if eligible {
+                    Some((nbr, link_etx + path_cost.get(&nbr).copied().unwrap_or(f64::INFINITY)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        let best = cands.first().map(|(id, _)| *id);
+        let second = cands.get(1).map(|(id, _)| *id);
+        if let Some((_, best_cost)) = cands.first() {
+            path_cost.insert(*node, *best_cost);
+        }
+        committed.insert(*node, my_order);
+        graph.insert(
+            *node,
+            GraphEntry {
+                best,
+                second,
+                rank: Rank((my_hop + 1).min(u32::from(u16::MAX - 1)) as u16),
+            },
+        );
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digs_sim::link::LinkModel;
+    use digs_sim::rf::RfConfig;
+    use digs_sim::topology::Topology;
+
+    fn line_db() -> LinkDb {
+        // 0 (AP) — 2 — 3 — 4 chain plus cross links to give diversity.
+        let mut db = LinkDb::with_nodes(5);
+        db.insert(NodeId(0), NodeId(2), 1.0);
+        db.insert(NodeId(1), NodeId(2), 1.5);
+        db.insert(NodeId(0), NodeId(3), 2.0);
+        db.insert(NodeId(2), NodeId(3), 1.0);
+        db.insert(NodeId(3), NodeId(4), 1.0);
+        db.insert(NodeId(2), NodeId(4), 2.5);
+        db
+    }
+
+    #[test]
+    fn graph_is_dag_and_reachable() {
+        let g = build_uplink_graph(&line_db(), &[NodeId(0), NodeId(1)]);
+        assert!(g.is_dag());
+        assert!(g.all_reachable());
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn every_device_gets_two_parents_when_possible() {
+        let g = build_uplink_graph(&line_db(), &[NodeId(0), NodeId(1)]);
+        // Node 2 borders both APs; node 3 can use AP0 and node 2; node 4
+        // can use nodes 2 and 3.
+        for n in [2u16, 3, 4] {
+            assert_eq!(g.parents(NodeId(n)).len(), 2, "node {n}");
+        }
+    }
+
+    #[test]
+    fn best_parent_minimises_accumulated_cost() {
+        let g = build_uplink_graph(&line_db(), &[NodeId(0), NodeId(1)]);
+        // Node 2: AP0 at cost 1.0 beats AP1 at 1.5.
+        assert_eq!(g.entry(NodeId(2)).expect("present").best, Some(NodeId(0)));
+        // Node 3: through node 2 (1 + 1 = 2.0) ties direct AP0 (2.0);
+        // deterministic tie-break by id favors AP0.
+        assert_eq!(g.entry(NodeId(3)).expect("present").best, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn unreachable_device_left_out() {
+        let mut db = line_db();
+        db.remove_node(NodeId(3));
+        db.remove(NodeId(2), NodeId(4));
+        let g = build_uplink_graph(&db, &[NodeId(0), NodeId(1)]);
+        assert!(g.entry(NodeId(4)).is_none(), "node 4 is cut off");
+        assert!(g.all_reachable());
+    }
+
+    #[test]
+    fn testbed_a_graph_is_well_formed() {
+        let topo = Topology::testbed_a();
+        let model = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+        let db = LinkDb::from_link_model(&model);
+        let g = build_uplink_graph(&db, &topo.access_points());
+        assert!(g.is_dag());
+        assert!(g.all_reachable());
+        assert_eq!(g.len(), 48, "every field device is attached");
+        assert!(
+            g.fraction_with_backup() > 0.9,
+            "dense testbed should give almost everyone a backup: {}",
+            g.fraction_with_backup()
+        );
+    }
+
+    #[test]
+    fn ranks_increase_from_roots() {
+        let g = build_uplink_graph(&line_db(), &[NodeId(0), NodeId(1)]);
+        let rank = |n: u16| g.entry(NodeId(n)).expect("present").rank;
+        assert_eq!(rank(2), Rank(2));
+        assert_eq!(rank(3), Rank(2)); // direct AP link exists
+        assert!(rank(4) > Rank(2));
+    }
+}

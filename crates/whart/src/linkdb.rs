@@ -1,0 +1,163 @@
+//! The Network Manager's link-state database.
+//!
+//! In a real WirelessHART network every device periodically reports its
+//! neighbor signal levels to the manager. In the simulation the database is
+//! seeded from the link-model oracle using exactly the paper's RSS→ETX
+//! mapping, which is what the devices themselves would have reported.
+
+use digs_sim::ids::NodeId;
+use digs_sim::link::LinkModel;
+use digs_sim::rf::initial_etx_from_rss;
+use std::collections::BTreeMap;
+
+/// Minimum mean RSS (dBm) at which the manager considers a link usable for
+/// routing — the paper's `RSSmin`; below it the ETX mapping saturates and
+/// the link is effectively beyond communication range.
+pub const USABLE_RSS_DBM: f64 = -90.0;
+
+/// Symmetric link costs known to the manager.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkDb {
+    // Key is (min, max) — link costs are symmetric at this granularity.
+    etx: BTreeMap<(NodeId, NodeId), f64>,
+    nodes: usize,
+}
+
+impl LinkDb {
+    /// Builds the database from device-reported signal levels (the
+    /// link-model oracle), keeping links whose mean RSS is at least
+    /// [`USABLE_RSS_DBM`].
+    pub fn from_link_model(model: &LinkModel) -> LinkDb {
+        let n = model.len();
+        let mut etx = BTreeMap::new();
+        for a in 0..n as u16 {
+            for b in (a + 1)..n as u16 {
+                let rss = model.mean_rss(NodeId(a), NodeId(b));
+                if rss.dbm() >= USABLE_RSS_DBM {
+                    etx.insert((NodeId(a), NodeId(b)), initial_etx_from_rss(rss));
+                }
+            }
+        }
+        LinkDb { etx, nodes: n }
+    }
+
+    /// Creates an empty database for `nodes` devices (tests build links
+    /// manually).
+    pub fn with_nodes(nodes: usize) -> LinkDb {
+        LinkDb { etx: BTreeMap::new(), nodes }
+    }
+
+    /// Records a link cost (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or the cost is below 1.
+    pub fn insert(&mut self, a: NodeId, b: NodeId, etx: f64) {
+        assert_ne!(a, b, "no self links");
+        assert!(etx >= 1.0, "ETX is at least 1");
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.etx.insert(key, etx);
+    }
+
+    /// Removes a link (e.g. reported failed); returns whether it existed.
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.etx.remove(&key).is_some()
+    }
+
+    /// Removes every link of a node (node failure).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.etx.retain(|(a, b), _| *a != node && *b != node);
+    }
+
+    /// The ETX of a link, if usable.
+    pub fn etx(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.etx.get(&key).copied()
+    }
+
+    /// Usable neighbors of a node, in id order.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self
+            .etx
+            .iter()
+            .filter_map(|((a, b), cost)| {
+                if *a == node {
+                    Some((*b, *cost))
+                } else if *b == node {
+                    Some((*a, *cost))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by(|x, y| x.0.cmp(&y.0));
+        out
+    }
+
+    /// Number of devices covered.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of usable links.
+    pub fn num_links(&self) -> usize {
+        self.etx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digs_sim::rf::RfConfig;
+    use digs_sim::topology::Topology;
+
+    #[test]
+    fn oracle_database_is_symmetric() {
+        let topo = Topology::testbed_a();
+        let model = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+        let db = LinkDb::from_link_model(&model);
+        assert_eq!(db.etx(NodeId(3), NodeId(7)), db.etx(NodeId(7), NodeId(3)));
+        assert!(db.num_links() > 0);
+        assert_eq!(db.num_nodes(), 50);
+    }
+
+    #[test]
+    fn distant_links_are_excluded() {
+        let topo = Topology::cooja_150(1);
+        let model = LinkModel::new(&topo, RfConfig::deterministic(), 1);
+        let db = LinkDb::from_link_model(&model);
+        // A 300 m network cannot be a full mesh of usable links.
+        let full_mesh = 152 * 151 / 2;
+        assert!(db.num_links() < full_mesh / 2, "links = {}", db.num_links());
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut db = LinkDb::with_nodes(3);
+        db.insert(NodeId(1), NodeId(0), 1.5);
+        assert_eq!(db.etx(NodeId(0), NodeId(1)), Some(1.5));
+        assert!(db.remove(NodeId(0), NodeId(1)));
+        assert!(!db.remove(NodeId(0), NodeId(1)));
+        assert_eq!(db.etx(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn remove_node_clears_its_links() {
+        let mut db = LinkDb::with_nodes(4);
+        db.insert(NodeId(0), NodeId(1), 1.0);
+        db.insert(NodeId(1), NodeId(2), 1.0);
+        db.insert(NodeId(2), NodeId(3), 1.0);
+        db.remove_node(NodeId(1));
+        assert_eq!(db.num_links(), 1);
+        assert!(db.neighbors(NodeId(1)).is_empty());
+        assert_eq!(db.neighbors(NodeId(2)), vec![(NodeId(3), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self links")]
+    fn self_link_panics() {
+        let mut db = LinkDb::with_nodes(2);
+        db.insert(NodeId(1), NodeId(1), 1.0);
+    }
+}

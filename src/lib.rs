@@ -1,0 +1,18 @@
+//! Workspace root crate for the DiGS reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; all functionality lives in the member crates:
+//!
+//! - [`digs_sim`] — the WSAN simulation substrate,
+//! - [`digs_routing`] — ETX, Trickle, RPL, and DiGS distributed graph routing,
+//! - [`digs_scheduling`] — TSCH slotframes, the DiGS autonomous scheduler, Orchestra,
+//! - [`digs_whart`] — the centralized WirelessHART baseline,
+//! - [`digs`] — the integrated protocol stacks and experiment harness,
+//! - [`digs_metrics`] — the statistics toolkit.
+
+pub use digs;
+pub use digs_metrics;
+pub use digs_routing;
+pub use digs_scheduling;
+pub use digs_sim;
+pub use digs_whart;

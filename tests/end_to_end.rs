@@ -1,0 +1,113 @@
+//! Cross-crate integration: end-to-end data delivery and run metrics in
+//! clean (interference-free) conditions.
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::flows::flow_set_from_sources;
+use digs::network::Network;
+use digs_sim::ids::NodeId;
+use digs_sim::topology::Topology;
+
+fn clean_run(protocol: Protocol, seed: u64) -> digs::results::RunResults {
+    let topology = Topology::testbed_a_half();
+    let mut flows = flow_set_from_sources(&[NodeId(10), NodeId(15), NodeId(19)], 500);
+    for f in &mut flows {
+        f.phase += 4000; // start flows after a 40 s warm-up
+    }
+    let config = NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .seed(seed)
+        .flows(flows)
+        .build();
+    let mut network = Network::new(config);
+    network.run_secs(240);
+    network.results()
+}
+
+#[test]
+fn digs_delivers_in_clean_conditions() {
+    let results = clean_run(Protocol::Digs, 5);
+    assert!(
+        results.network_pdr() > 0.9,
+        "clean-air DiGS PDR {:.3}",
+        results.network_pdr()
+    );
+}
+
+#[test]
+fn orchestra_delivers_in_clean_conditions() {
+    let results = clean_run(Protocol::Orchestra, 5);
+    assert!(
+        results.network_pdr() > 0.9,
+        "clean-air Orchestra PDR {:.3}",
+        results.network_pdr()
+    );
+}
+
+#[test]
+fn runs_are_bit_reproducible() {
+    let a = clean_run(Protocol::Digs, 7);
+    let b = clean_run(Protocol::Digs, 7);
+    assert_eq!(a, b, "identical seeds must give identical results");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = clean_run(Protocol::Digs, 7);
+    let b = clean_run(Protocol::Digs, 8);
+    assert_ne!(
+        a.parent_change_times, b.parent_change_times,
+        "different seeds should explore different realisations"
+    );
+}
+
+#[test]
+fn latencies_are_positive_and_bounded() {
+    let results = clean_run(Protocol::Digs, 5);
+    let latencies = results.all_latencies_ms();
+    assert!(!latencies.is_empty());
+    for l in &latencies {
+        assert!(*l >= 0.0);
+        assert!(*l < 120_000.0, "latency {l} ms exceeds 2 minutes");
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    let results = clean_run(Protocol::Digs, 5);
+    for node in &results.nodes {
+        assert!(node.energy_mj >= 0.0);
+        assert!((0.0..=1.0).contains(&node.duty_cycle), "{:?}", node);
+        // Radios cannot consume more than full-RX power.
+        assert!(node.mean_power_mw <= digs_sim::energy::RX_POWER_MW + 1.0);
+    }
+    assert!(results.total_mean_power_mw() > 0.0);
+    assert!(results.power_per_received_packet_mw().is_finite());
+}
+
+#[test]
+fn delivered_never_exceeds_generated() {
+    for protocol in [Protocol::Digs, Protocol::Orchestra] {
+        let results = clean_run(protocol, 11);
+        for flow in &results.flows {
+            assert!(
+                flow.delivered <= flow.generated,
+                "{}: delivered {} > generated {}",
+                flow.flow,
+                flow.delivered,
+                flow.generated
+            );
+            assert_eq!(flow.delivered as usize, flow.delivered_seqs.len());
+            assert_eq!(flow.delivered as usize, flow.latencies_ms.len());
+        }
+    }
+}
+
+#[test]
+fn sequence_numbers_delivered_are_within_generated_range() {
+    let results = clean_run(Protocol::Digs, 5);
+    for flow in &results.flows {
+        if let Some(max_seq) = flow.delivered_seqs.iter().max() {
+            assert!(*max_seq < flow.generated, "{}", flow.flow);
+        }
+    }
+}

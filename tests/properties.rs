@@ -1,0 +1,144 @@
+//! Property-based integration tests: invariants that must hold for
+//! arbitrary topologies, schedules, and protocol event orders.
+
+use digs_routing::messages::{JoinIn, ParentSlot, Rank};
+use digs_routing::{DigsRouting, RoutingConfig, RoutingGraph};
+use digs_scheduling::slotframe::CellAction;
+use digs_scheduling::{DigsScheduler, SlotframeLengths};
+use digs_sim::ids::NodeId;
+use digs_sim::rf::Dbm;
+use digs_sim::time::Asn;
+use digs_sim::topology::Topology;
+use proptest::prelude::*;
+
+fn join_in(rank: u16, etx_w: f64) -> JoinIn {
+    JoinIn { rank: Rank(rank), etx_w, best_parent: None, second_parent: None }
+}
+
+proptest! {
+    /// Algorithm 1 never selects the node itself, never selects the same
+    /// node for both roles, and the second parent always has a strictly
+    /// lower rank than the node.
+    #[test]
+    fn parent_selection_invariants(
+        events in prop::collection::vec(
+            (0u16..30, 1u16..6, 0.0f64..8.0, -95.0f64..-55.0),
+            1..60
+        )
+    ) {
+        let mut node = DigsRouting::new(
+            NodeId(100), false, RoutingConfig::fast(), 1, Asn::ZERO
+        );
+        for (i, (from, rank, etx_w, rss)) in events.iter().enumerate() {
+            node.on_join_in(
+                NodeId(*from),
+                &join_in(*rank, *etx_w),
+                Dbm(*rss),
+                Asn(i as u64),
+            );
+            prop_assert_ne!(node.best_parent(), Some(NodeId(100)));
+            if let (Some(b), Some(s)) = (node.best_parent(), node.second_best_parent()) {
+                prop_assert_ne!(b, s, "best and second must differ");
+            }
+            if node.second_best_parent().is_some() {
+                prop_assert!(node.rank().is_finite());
+            }
+            if node.is_joined() {
+                prop_assert!(node.rank() > Rank::ROOT);
+                prop_assert!(node.etx_w().is_finite());
+            }
+        }
+    }
+
+    /// Eq. 4 transmission slots never collide between distinct
+    /// (device, attempt) pairs as long as they fit in the slotframe.
+    #[test]
+    fn eq4_slots_are_unique(num_aps in 1u16..4, devices in 1u16..40) {
+        let lengths = SlotframeLengths::paper();
+        let attempts = 3u8;
+        prop_assume!(u32::from(devices) * u32::from(attempts) < lengths.app);
+        let s = DigsScheduler::new(NodeId(0), num_aps, lengths, attempts);
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..devices {
+            for p in 1..=attempts {
+                let slot = s.tx_slot(NodeId(num_aps + d), p);
+                prop_assert!(seen.insert(slot), "collision at slot {}", slot);
+            }
+        }
+    }
+
+    /// The Eq. 4 inverse recovers the attempt from any (node, slot) pair.
+    #[test]
+    fn eq4_inverse_roundtrips(device in 0u16..48, p in 1u8..=3) {
+        let s = DigsScheduler::new(NodeId(2), 2, SlotframeLengths::paper(), 3);
+        let node = NodeId(2 + device);
+        let slot = s.tx_slot(node, p);
+        prop_assert_eq!(s.infer_attempt(node, slot), Some(p));
+    }
+
+    /// A scheduler never asks an access point to transmit data upstream,
+    /// for any slot.
+    #[test]
+    fn access_points_never_send_data(asn in 0u64..100_000) {
+        let mut ap = DigsScheduler::new(NodeId(0), 2, SlotframeLengths::paper(), 3);
+        ap.add_child(NodeId(5), ParentSlot::Best);
+        if let Some(cell) = ap.cell(Asn(asn)) {
+            let is_tx_data = matches!(cell.action, CellAction::TxData { .. });
+            prop_assert!(!is_tx_data);
+        }
+    }
+
+    /// Random parent assignments in which every parent has a strictly
+    /// lower rank always form a DAG.
+    #[test]
+    fn rank_ordered_graphs_are_acyclic(
+        parents in prop::collection::vec((0u16..20, 0u16..20), 1..40)
+    ) {
+        let mut graph = RoutingGraph::new([NodeId(0), NodeId(1)]);
+        for (i, (b, s)) in parents.iter().enumerate() {
+            let node = 2 + i as u16;
+            // Force rank ordering: parent ids must be smaller than ours
+            // (id order is a valid topological order here).
+            let best = NodeId(b % node);
+            let second = NodeId(s % node);
+            graph.insert(
+                NodeId(node),
+                digs_routing::graph::GraphEntry {
+                    best: Some(best),
+                    second: (second != best).then_some(second),
+                    rank: Rank(node),
+                },
+            );
+        }
+        prop_assert!(graph.is_dag());
+    }
+
+    /// Topology generators place the requested number of nodes and always
+    /// include the access points first.
+    #[test]
+    fn random_topology_wellformed(n in 1usize..60, side in 50.0f64..500.0, seed in 0u64..50) {
+        let topo = Topology::random_area(n, side, seed);
+        prop_assert_eq!(topo.len(), n + 2);
+        prop_assert_eq!(topo.num_access_points(), 2);
+        prop_assert!(topo.is_access_point(NodeId(0)));
+        prop_assert!(topo.is_access_point(NodeId(1)));
+        for id in topo.node_ids() {
+            let p = topo.position(id);
+            prop_assert!(p.x >= 0.0 && p.x <= side);
+            prop_assert!(p.y >= 0.0 && p.y <= side);
+        }
+    }
+
+    /// The combined schedule is deterministic: equal state gives equal
+    /// cells at every slot (the autonomy property of Section VI).
+    #[test]
+    fn schedules_need_no_negotiation(id in 2u16..50, asn in 0u64..1_000_000) {
+        let mk = || {
+            let mut s = DigsScheduler::new(NodeId(id), 2, SlotframeLengths::paper(), 3);
+            s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+            s.add_child(NodeId(id + 1), ParentSlot::Best);
+            s
+        };
+        prop_assert_eq!(mk().cell(Asn(asn)), mk().cell(Asn(asn)));
+    }
+}
