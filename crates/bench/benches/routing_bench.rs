@@ -51,15 +51,11 @@ fn bench_routing(c: &mut Criterion) {
     let model = LinkModel::new(&topo, RfConfig::deterministic(), 1);
     let db = LinkDb::from_link_model(&model);
     let roots = topo.access_points();
-    c.bench_function("central_graph_50_nodes", |b| {
-        b.iter(|| build_uplink_graph(&db, &roots))
-    });
+    c.bench_function("central_graph_50_nodes", |b| b.iter(|| build_uplink_graph(&db, &roots)));
 
     let graph = build_uplink_graph(&db, &roots);
     c.bench_function("graph_dag_validation_50_nodes", |b| b.iter(|| graph.is_dag()));
-    c.bench_function("graph_reachability_50_nodes", |b| {
-        b.iter(|| graph.all_reachable())
-    });
+    c.bench_function("graph_reachability_50_nodes", |b| b.iter(|| graph.all_reachable()));
 }
 
 criterion_group!(benches, bench_routing);

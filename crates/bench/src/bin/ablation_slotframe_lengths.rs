@@ -39,9 +39,10 @@ fn main() {
         );
         let pdr = Cdf::new(experiment::flow_set_pdrs(&runs)).expect("runs");
         let lat = Cdf::new(experiment::all_latencies_ms(&runs)).expect("deliveries");
-        let duty: f64 = runs.iter().map(|r| r.mean_duty_cycle_percent()).sum::<f64>()
-            / runs.len() as f64;
-        let (_, _, p_skip_app) = digs_skip_probabilities((lengths.sync, lengths.routing, app_len), 2, 3);
+        let duty: f64 =
+            runs.iter().map(|r| r.mean_duty_cycle_percent()).sum::<f64>() / runs.len() as f64;
+        let (_, _, p_skip_app) =
+            digs_skip_probabilities((lengths.sync, lengths.routing, app_len), 2, 3);
         println!(
             "{:>8} | {:>10.3} | {:>10.0}ms | {:>11.3}% | {:>12.4} | {:>10}",
             app_len,

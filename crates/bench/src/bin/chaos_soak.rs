@@ -1,0 +1,128 @@
+//! Soak — all three stacks through a long randomized chaos soak on
+//! Testbed A: node churn, cold reboots, link flaps, clock desyncs, and
+//! jammer bursts from a seeded [`digs_sim::fault::ChaosPlan`].
+//!
+//! While the chaos runs, the runtime invariant auditor
+//! ([`digs::audit`]) samples the network every 10 s (routing DAG
+//! loop-freedom, rank monotonicity, Eq. 4 cell ownership, child-table
+//! consistency, queue bounds) and the convergence watchdog
+//! ([`digs::watchdog`]) scores recovery from every injected fault. The
+//! binary exits non-zero if the DiGS network violates any invariant —
+//! this is the repo's robustness gate, not a paper figure.
+//!
+//! Knobs: `DIGS_SETS` selects the chaos seed, `DIGS_SECS` the total run
+//! length (default 600 s: 120 s warm-up, 360 s of chaos, 120 s tail).
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::network::Network;
+use digs::watchdog::{self, WatchdogConfig};
+use digs_metrics::format::figure_header;
+use digs_sim::fault::{ChaosConfig, ChaosPlan};
+use digs_sim::time::{Asn, SLOTS_PER_SECOND};
+use digs_sim::topology::Topology;
+
+/// Clean formation period before the first fault.
+const WARMUP_SECS: u64 = 120;
+/// Chaos-free tail so the last fault has room to recover.
+const TAIL_SECS: u64 = 120;
+/// Extra audited settle period appended to the DiGS run (after the
+/// metrics are taken) before the final deep-quiet loop-freedom
+/// assertion. Post-chaos re-convergence cascades: each join-in wave of
+/// rank repair can close fresh transient cycles, and the churn has been
+/// observed to outlast the last fault by ~140 s — a couple of Trickle
+/// maximum intervals — before the graph goes quiet for good. The extra
+/// settle gives the assertion a comfortable margin over that.
+const FINAL_SETTLE_SECS: u64 = 180;
+/// Auditor sampling period: every 10 s.
+const AUDIT_EVERY_SLOTS: u64 = 10 * SLOTS_PER_SECOND;
+
+fn main() {
+    let seed = digs_bench::sets(3); // reuse the knob as a seed selector
+    let secs = digs_bench::secs(600);
+    assert!(
+        secs > WARMUP_SECS + TAIL_SECS,
+        "soak needs more than {} s to fit warm-up and tail",
+        WARMUP_SECS + TAIL_SECS
+    );
+    let chaos_secs = secs - WARMUP_SECS - TAIL_SECS;
+
+    println!("{}", figure_header("Soak", "randomized chaos: survival metrics + invariant audit"));
+
+    let topology = Topology::testbed_a();
+    let chaos_config = ChaosConfig::moderate(Asn::from_secs(WARMUP_SECS), chaos_secs);
+    let plan = ChaosPlan::generate(&chaos_config, &topology, seed);
+    println!(
+        "chaos seed {seed}: {} events over {chaos_secs} s ({} outages/reboots, {} jammer bursts)\n",
+        plan.events().len(),
+        plan.faults().outages().len() + plan.faults().reboots().len(),
+        plan.jammers().len(),
+    );
+
+    println!(
+        "{:>14} | {:>7} | {:>9} | {:>11} | {:>9} | {:>10} | {:>10}",
+        "protocol", "PDR", "min wPDR", "valley lost", "converged", "worst rec", "violations"
+    );
+
+    let mut digs_violations = Vec::new();
+    for protocol in [Protocol::Digs, Protocol::Orchestra, Protocol::WirelessHart] {
+        let mut flows = digs::scenarios::far_flow_set(&topology, 6, 500, seed);
+        for f in &mut flows {
+            f.phase += 60 * SLOTS_PER_SECOND; // let the network form first
+        }
+        let mut builder = NetworkConfig::builder(topology.clone())
+            .protocol(protocol)
+            .seed(seed)
+            .flows(flows)
+            .faults(plan.faults().clone());
+        for jammer in plan.jammers() {
+            builder = builder.jammer(jammer.clone());
+        }
+        let mut net = Network::new(builder.build());
+        net.run_audited(secs * SLOTS_PER_SECOND, AUDIT_EVERY_SLOTS);
+        let results = net.results();
+
+        let specs = net.config().flows.clone();
+        let events = watchdog::events_from_chaos(plan.events());
+        let reports = watchdog::analyze(&results, &specs, &events, &WatchdogConfig::default());
+        let summary = watchdog::summarize(&reports);
+
+        println!(
+            "{:>14} | {:>7.3} | {:>9.3} | {:>11} | {:>6}/{:<2} | {:>9} | {:>10}",
+            protocol.name(),
+            results.network_pdr(),
+            summary.min_window_pdr,
+            summary.total_packets_lost,
+            summary.converged,
+            summary.events,
+            summary.worst_recovery_secs.map_or("-".to_string(), |s| format!("{s:.0}s")),
+            results.invariant_violations.len(),
+        );
+        if protocol == Protocol::Digs {
+            // Deep-quiet check: keep auditing through an extra settle
+            // period, then demand a clean DAG — by now every belief-skew
+            // cycle has had ample time to unwind, so a loop here is real.
+            net.run_audited(FINAL_SETTLE_SECS * SLOTS_PER_SECOND, AUDIT_EVERY_SLOTS);
+            digs_violations = net.violations().to_vec();
+            digs_violations.extend(digs::audit::check_loop_freedom(&net.audit_snapshot()));
+        }
+    }
+
+    println!();
+    if digs_violations.is_empty() {
+        println!("OK: zero DiGS invariant violations across the soak");
+    } else {
+        println!("FAIL: {} DiGS invariant violation(s):", digs_violations.len());
+        for v in &digs_violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!();
+    println!("expected shape: DiGS keeps its structural invariants through every");
+    println!("fault — parents stay strictly lower-rank, cells stay exclusively");
+    println!("owned, and every transient routing cycle unwinds once the beliefs");
+    println!("refresh. Its delivery dips harder than the baselines' while relays");
+    println!("rejoin (a dead relay takes its dedicated cells with it), whereas");
+    println!("Orchestra's shared slots degrade more gracefully and the static");
+    println!("WirelessHART schedule only bleeds for faults on scheduled relays.");
+}

@@ -14,25 +14,20 @@ use digs_whart::{LinkDb, NetworkManager, UpdateCostConfig};
 fn update_time(topology: &Topology, flows: usize) -> f64 {
     let model = LinkModel::new(topology, RfConfig::indoor(), 1);
     let db = LinkDb::from_link_model(&model);
-    let mut manager = NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
+    let mut manager =
+        NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
     // Sources: the farthest field devices (multi-hop flows, as in the
     // paper's workloads).
     let mut sources = topology.field_devices();
     sources.reverse();
     sources.truncate(flows);
-    manager
-        .full_update(&sources, 1000)
-        .expect("schedulable")
-        .total_secs()
+    manager.full_update(&sources, 1000).expect("schedulable").total_secs()
 }
 
 fn main() {
     println!(
         "{}",
-        figure_header(
-            "Fig. 3",
-            "WirelessHART Network Manager route/schedule update time"
-        )
+        figure_header("Fig. 3", "WirelessHART Network Manager route/schedule update time")
     );
     let rows = vec![
         ("Half Testbed A (20)".to_string(), update_time(&Topology::testbed_a_half(), 8)),

@@ -13,10 +13,7 @@ use digs_sim::time::Asn;
 fn main() {
     let sets = digs_bench::sets(6);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Fig. 4", "CDF of Orchestra repair time under 1-4 jammers")
-    );
+    println!("{}", figure_header("Fig. 4", "CDF of Orchestra repair time under 1-4 jammers"));
 
     let jam_start = Asn::from_secs(scenarios::JAM_START_SECS);
     let mut all_repairs = Vec::new();
@@ -31,8 +28,7 @@ fn main() {
             "{} jammer(s): {} repair events, median {:.1} s",
             jammers,
             repairs.len(),
-            Cdf::new(repairs.iter().copied())
-                .map_or(f64::NAN, |c| c.median())
+            Cdf::new(repairs.iter().copied()).map_or(f64::NAN, |c| c.median())
         );
         all_repairs.extend(repairs);
     }

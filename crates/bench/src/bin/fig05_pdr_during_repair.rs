@@ -29,10 +29,7 @@ fn windowed_pdr(
 fn main() {
     let sets = digs_bench::sets(6);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Fig. 5", "Orchestra per-flow PDR during repair, 1-4 jammers")
-    );
+    println!("{}", figure_header("Fig. 5", "Orchestra per-flow PDR during repair, 1-4 jammers"));
 
     let mut rows = Vec::new();
     let mut medians = Vec::new();
@@ -43,9 +40,7 @@ fn main() {
             let specs = config.flows.clone();
             let results = digs::experiment::run_for(config, secs);
             for (flow, spec) in results.flows.iter().zip(&specs) {
-                if let Some(p) =
-                    windowed_pdr(flow, spec, scenarios::JAM_START_SECS * 100)
-                {
+                if let Some(p) = windowed_pdr(flow, spec, scenarios::JAM_START_SECS * 100) {
                     pdrs.push(p);
                 }
             }
@@ -60,17 +55,9 @@ fn main() {
     let comparisons: Vec<(String, String, f64)> = medians
         .iter()
         .enumerate()
-        .map(|(i, m)| {
-            (
-                format!("median PDR with {} jammer(s)", i + 1),
-                format!("{}", paper[i]),
-                *m,
-            )
-        })
+        .map(|(i, m)| (format!("median PDR with {} jammer(s)", i + 1), format!("{}", paper[i]), *m))
         .collect();
-    let rows: Vec<(&str, &str, f64)> = comparisons
-        .iter()
-        .map(|(a, b, c)| (a.as_str(), b.as_str(), *c))
-        .collect();
+    let rows: Vec<(&str, &str, f64)> =
+        comparisons.iter().map(|(a, b, c)| (a.as_str(), b.as_str(), *c)).collect();
     digs_bench::print_comparisons(&rows);
 }

@@ -20,10 +20,7 @@ use digs_metrics::{BoxplotStats, Cdf};
 fn main() {
     let sets = digs_bench::sets(10);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Fig. 9", "Testbed A under interference: DiGS vs Orchestra")
-    );
+    println!("{}", figure_header("Fig. 9", "Testbed A under interference: DiGS vs Orchestra"));
     let (digs_runs, orch_runs) =
         digs_bench::run_both(scenarios::testbed_a_interference, sets, secs);
 
@@ -65,10 +62,7 @@ fn main() {
     for (name, runs) in [("digs", &digs_runs), ("orchestra", &orch_runs)] {
         println!("  {name} (flow set 1):");
         for (flow, seqs) in experiment::delivery_microbench(&runs[0], 10, 20) {
-            let line: String = seqs
-                .iter()
-                .map(|(_, ok)| if *ok { '■' } else { '·' })
-                .collect();
+            let line: String = seqs.iter().map(|(_, ok)| if *ok { '■' } else { '·' }).collect();
             println!("    flow {flow}: {line}");
         }
     }
@@ -83,10 +77,6 @@ fn main() {
         ("Orchestra median latency (ms)", "917.5", orch_lat.median()),
         ("DiGS mean latency (ms)", "649.5", digs_lat.mean()),
         ("Orchestra mean latency (ms)", "1214.1", orch_lat.mean()),
-        (
-            "power/packet DiGS − Orchestra (mW)",
-            "-0.056",
-            digs_ppp.mean() - orch_ppp.mean(),
-        ),
+        ("power/packet DiGS − Orchestra (mW)", "-0.056", digs_ppp.mean() - orch_ppp.mean()),
     ]);
 }

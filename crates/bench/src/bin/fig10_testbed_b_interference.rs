@@ -15,10 +15,7 @@ use digs_metrics::Cdf;
 fn main() {
     let sets = digs_bench::sets(10);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Fig. 10", "Testbed B under interference: DiGS vs Orchestra")
-    );
+    println!("{}", figure_header("Fig. 10", "Testbed B under interference: DiGS vs Orchestra"));
     let (digs_runs, orch_runs) =
         digs_bench::run_both(scenarios::testbed_b_interference, sets, secs);
 
@@ -43,15 +40,7 @@ fn main() {
         ("DiGS p90 set PDR", "0.977", digs_pdr.percentile(90.0)),
         ("worst PDR gap (DiGS − Orch)", "+0.076", digs_pdr.min() - orch_pdr.min()),
         ("median PDR gap (DiGS − Orch)", "+0.052", digs_pdr.median() - orch_pdr.median()),
-        (
-            "median latency gap (Orch − DiGS, ms)",
-            "232.7",
-            orch_lat.median() - digs_lat.median(),
-        ),
-        (
-            "power/packet DiGS − Orchestra (mW)",
-            "-0.057",
-            digs_ppp.mean() - orch_ppp.mean(),
-        ),
+        ("median latency gap (Orch − DiGS, ms)", "232.7", orch_lat.median() - digs_lat.median()),
+        ("power/packet DiGS − Orchestra (mW)", "-0.057", digs_ppp.mean() - orch_ppp.mean()),
     ]);
 }

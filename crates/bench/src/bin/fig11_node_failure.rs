@@ -15,10 +15,7 @@ use digs_metrics::Cdf;
 fn main() {
     let sets = digs_bench::sets(8);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Fig. 11", "Testbed A with node failure: DiGS vs Orchestra")
-    );
+    println!("{}", figure_header("Fig. 11", "Testbed A with node failure: DiGS vs Orchestra"));
 
     let mut digs_runs = Vec::new();
     let mut orch_runs = Vec::new();
@@ -56,10 +53,7 @@ fn main() {
     for (name, runs) in [("digs", &digs_runs), ("orchestra", &orch_runs)] {
         println!("  {name} (flow set 1):");
         for (flow, seqs) in experiment::delivery_microbench(&runs[0], 10, 20) {
-            let line: String = seqs
-                .iter()
-                .map(|(_, ok)| if *ok { '■' } else { '·' })
-                .collect();
+            let line: String = seqs.iter().map(|(_, ok)| if *ok { '■' } else { '·' }).collect();
             println!("    flow {flow}: {line}");
         }
     }
@@ -72,25 +66,15 @@ fn main() {
 
     let digs_pdr = Cdf::new(experiment::flow_set_pdrs(&digs_runs)).expect("runs");
     let orch_pdr = Cdf::new(experiment::flow_set_pdrs(&orch_runs)).expect("runs");
-    let digs_degraded: usize = digs_runs
-        .iter()
-        .flat_map(|r| r.flows.iter())
-        .filter(|f| f.pdr() < 0.9)
-        .count();
-    let orch_degraded: usize = orch_runs
-        .iter()
-        .flat_map(|r| r.flows.iter())
-        .filter(|f| f.pdr() < 0.9)
-        .count();
+    let digs_degraded: usize =
+        digs_runs.iter().flat_map(|r| r.flows.iter()).filter(|f| f.pdr() < 0.9).count();
+    let orch_degraded: usize =
+        orch_runs.iter().flat_map(|r| r.flows.iter()).filter(|f| f.pdr() < 0.9).count();
     digs_bench::print_comparisons(&[
         ("DiGS mean set PDR under failure", "1.00", digs_pdr.mean()),
         ("Orchestra mean set PDR under failure", "<1.00", orch_pdr.mean()),
         ("DiGS flows degraded (<90% PDR)", "0", digs_degraded as f64),
         ("Orchestra flows degraded (<90% PDR)", "~6 of 8/set", orch_degraded as f64),
-        (
-            "power/packet DiGS − Orchestra (mW)",
-            "-9.01",
-            digs_ppp.mean() - orch_ppp.mean(),
-        ),
+        ("power/packet DiGS − Orchestra (mW)", "-9.01", digs_ppp.mean() - orch_ppp.mean()),
     ]);
 }

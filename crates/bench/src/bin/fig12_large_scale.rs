@@ -14,10 +14,7 @@ use digs_metrics::Cdf;
 fn main() {
     let sets = digs_bench::sets(5);
     let secs = digs_bench::secs(900);
-    println!(
-        "{}",
-        figure_header("Fig. 12", "150-node large-scale simulation: DiGS vs Orchestra")
-    );
+    println!("{}", figure_header("Fig. 12", "150-node large-scale simulation: DiGS vs Orchestra"));
     let (digs_runs, orch_runs) = digs_bench::run_both(scenarios::large_scale, sets, secs);
 
     let digs_pdr = Cdf::new(experiment::flow_set_pdrs(&digs_runs)).expect("runs");
@@ -43,10 +40,6 @@ fn main() {
         ("Orchestra worst-case set PDR", "0.630", orch_pdr.min()),
         ("DiGS median latency (ms)", "1560", digs_lat.median()),
         ("Orchestra median latency (ms)", "1950", orch_lat.median()),
-        (
-            "duty cycle/pkt DiGS − Orchestra (%)",
-            "+0.056",
-            digs_dc.mean() - orch_dc.mean(),
-        ),
+        ("duty cycle/pkt DiGS − Orchestra (%)", "+0.056", digs_dc.mean() - orch_dc.mean()),
     ]);
 }

@@ -13,22 +13,19 @@ use digs_metrics::Cdf;
 fn main() {
     let sets = digs_bench::sets(8);
     let secs = digs_bench::secs(120);
-    println!(
-        "{}",
-        figure_header("Fig. 13", "Network initialization: per-node joining time CDF")
-    );
+    println!("{}", figure_header("Fig. 13", "Network initialization: per-node joining time CDF"));
 
     let mut samples = Vec::new();
     for protocol in [Protocol::Digs, Protocol::Orchestra] {
-        let runs =
-            digs_bench::run_seeds(move |seed| scenarios::initialization(protocol, seed), sets, secs);
+        let runs = digs_bench::run_seeds(
+            move |seed| scenarios::initialization(protocol, seed),
+            sets,
+            secs,
+        );
         // Exclude the access points (they are joined at t = 0 by
         // definition) and average the joining fraction.
-        let join_times: Vec<f64> = runs
-            .iter()
-            .flat_map(|r| r.join_times_secs())
-            .filter(|t| *t > 0.0)
-            .collect();
+        let join_times: Vec<f64> =
+            runs.iter().flat_map(|r| r.join_times_secs()).filter(|t| *t > 0.0).collect();
         let joined_frac: f64 =
             runs.iter().map(|r| r.fraction_joined()).sum::<f64>() / runs.len() as f64;
         println!(
@@ -43,19 +40,12 @@ fn main() {
     let digs_cdf = &samples[0].1;
     let orch_cdf = &samples[1].1;
     println!();
-    println!(
-        "{}",
-        cdf_table(&[("digs", digs_cdf), ("orchestra", orch_cdf)], "join (s)", 10)
-    );
+    println!("{}", cdf_table(&[("digs", digs_cdf), ("orchestra", orch_cdf)], "join (s)", 10));
     digs_bench::print_comparisons(&[
         ("DiGS mean join time (s)", "15.4", digs_cdf.mean()),
         ("Orchestra mean join time (s)", "14.3", orch_cdf.mean()),
         ("DiGS max join time (s)", "24.1", digs_cdf.max()),
         ("Orchestra max join time (s)", "23.0", orch_cdf.max()),
-        (
-            "join-time penalty of DiGS (s, mean)",
-            "+1.1",
-            digs_cdf.mean() - orch_cdf.mean(),
-        ),
+        ("join-time penalty of DiGS (s, mean)", "+1.1", digs_cdf.mean() - orch_cdf.mean()),
     ]);
 }

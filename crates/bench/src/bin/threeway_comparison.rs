@@ -23,11 +23,7 @@ fn config(protocol: Protocol, seed: u64) -> NetworkConfig {
     for f in &mut flows {
         f.phase += 6000; // 60 s warm-up for the distributed protocols
     }
-    NetworkConfig::builder(topology)
-        .protocol(protocol)
-        .seed(seed)
-        .flows(flows)
-        .build()
+    NetworkConfig::builder(topology).protocol(protocol).seed(seed).flows(flows).build()
 }
 
 /// A relay on the centralized schedule's paths (shared victim for all
@@ -48,10 +44,7 @@ fn pick_victim(cfg: &NetworkConfig) -> Option<NodeId> {
 fn main() {
     let seed = digs_bench::sets(3); // reuse the knob as a seed selector
     let secs = digs_bench::secs(360);
-    println!(
-        "{}",
-        figure_header("Bonus", "DiGS vs Orchestra vs centralized WirelessHART")
-    );
+    println!("{}", figure_header("Bonus", "DiGS vs Orchestra vs centralized WirelessHART"));
     let victim = pick_victim(&config(Protocol::WirelessHart, seed));
     println!(
         "shared failed relay: {}\n",
@@ -86,6 +79,31 @@ fn main() {
             clean_results.median_latency_ms().unwrap_or(f64::NAN),
             clean_results.power_per_received_packet_mw(),
         );
+    }
+    // Fourth row: the centralized baseline *with* its manager's recovery
+    // cycle modelled (Fig. 3 cost). The manager may find the victim
+    // unroutable-around (the failure partitions a flow) — report that
+    // instead of aborting the comparison.
+    if let Some(v) = victim {
+        match digs::experiment::run_whart_with_recovery(
+            config(Protocol::WirelessHart, seed),
+            v,
+            120,
+            secs,
+        ) {
+            Ok((results, delay)) => println!(
+                "{:>14} | {:>9} | {:>13.3} | {:>11} | ({:.0}s manager cycle)",
+                "whart+recover",
+                "-",
+                results.network_pdr(),
+                "-",
+                delay
+            ),
+            Err(err) => println!(
+                "{:>14} | {:>9} | {:>13} | {:>11} | (unroutable: {err})",
+                "whart+recover", "-", "unroutable", "-"
+            ),
+        }
     }
     println!();
     println!("expected shape: all three deliver when nothing changes; under the");

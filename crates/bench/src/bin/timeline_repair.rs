@@ -11,10 +11,7 @@ use digs_metrics::format::figure_header;
 fn main() {
     let seed = digs_bench::sets(1);
     let secs = digs_bench::secs(420);
-    println!(
-        "{}",
-        figure_header("Bonus", "delivery timeline through jam onset (5 s windows)")
-    );
+    println!("{}", figure_header("Bonus", "delivery timeline through jam onset (5 s windows)"));
     println!(
         "jammers on at {} s; glyphs: █ ≥99%  ▆ ≥90%  ▄ ≥70%  ▂ ≥40%  · below\n",
         scenarios::JAM_START_SECS
@@ -33,10 +30,13 @@ fn main() {
             .filter(|p| p.generated > 0)
             .partition(|p| (p.start_secs as u64) < scenarios::JAM_START_SECS);
         let mean = |points: &[&digs::timeline::TimelinePoint]| {
-            let (d, g) = points
-                .iter()
-                .fold((0u32, 0u32), |(d, g), p| (d + p.delivered, g + p.generated));
-            if g == 0 { f64::NAN } else { f64::from(d) / f64::from(g) }
+            let (d, g) =
+                points.iter().fold((0u32, 0u32), |(d, g), p| (d + p.delivered, g + p.generated));
+            if g == 0 {
+                f64::NAN
+            } else {
+                f64::from(d) / f64::from(g)
+            }
         };
         println!(
             "{:>10}  pre-jam PDR {:.3}, jammed PDR {:.3} (jam starts at window {jam_window})\n",

@@ -18,18 +18,12 @@ use std::thread;
 
 /// Number of flow sets to run, from `DIGS_SETS` (default `default`).
 pub fn sets(default: u64) -> u64 {
-    std::env::var("DIGS_SETS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::var("DIGS_SETS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Simulated seconds per run, from `DIGS_SECS` (default `default`).
 pub fn secs(default: u64) -> u64 {
-    std::env::var("DIGS_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::var("DIGS_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Runs `scenario(seed)` for seeds `1..=sets`, fanned out over the
@@ -39,9 +33,7 @@ pub fn run_seeds(
     sets: u64,
     run_secs: u64,
 ) -> Vec<RunResults> {
-    let workers = thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(sets.max(1) as usize);
+    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(sets.max(1) as usize);
     let (task_tx, task_rx) = mpsc::channel::<u64>();
     let task_rx = std::sync::Arc::new(std::sync::Mutex::new(task_rx));
     let (res_tx, res_rx) = mpsc::channel::<(u64, RunResults)>();

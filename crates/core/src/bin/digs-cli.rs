@@ -40,9 +40,7 @@ fn parse_args() -> Result<Args, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument `{flag}`\n{}", usage()))?;
-        let value = argv
-            .next()
-            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        let value = argv.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
         options.insert(name.to_string(), value);
     }
     Ok(Args { command, options, json })
@@ -88,18 +86,12 @@ where
 }
 
 fn build_network(args: &Args) -> Result<Network, String> {
-    let topology = topology_from(
-        args.options.get("topology").map_or("testbed-a", String::as_str),
-    )?;
+    let topology = topology_from(args.options.get("topology").map_or("testbed-a", String::as_str))?;
     let protocol = match args.options.get("protocol").map_or("digs", String::as_str) {
         "digs" => Protocol::Digs,
         "orchestra" => Protocol::Orchestra,
         "wirelesshart" => Protocol::WirelessHart,
-        other => {
-            return Err(format!(
-                "unknown protocol `{other}` (digs|orchestra|wirelesshart)"
-            ))
-        }
+        other => return Err(format!("unknown protocol `{other}` (digs|orchestra|wirelesshart)")),
     };
     let seed: u64 = get(args, "seed", 1)?;
     let flows: usize = get(args, "flows", 4)?;
@@ -118,11 +110,7 @@ fn build_network(args: &Args) -> Result<Network, String> {
         .random_flows(flows, period_ms / 10, seed);
     for i in 0..jammers {
         let pos = Position::new(12.0 + 14.0 * i as f64, 8.0 + 5.0 * i as f64);
-        builder = builder.jammer(Jammer::wifi(
-            pos,
-            [1u8, 6, 11][i % 3],
-            Asn::from_secs(60),
-        ));
+        builder = builder.jammer(Jammer::wifi(pos, [1u8, 6, 11][i % 3], Asn::from_secs(60)));
     }
     Ok(Network::new(builder.build()))
 }
@@ -153,19 +141,24 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     for flow in &results.flows {
         println!(
             "  {} src {}: {}/{} (PDR {:.2})",
-            flow.flow, flow.source, flow.delivered, flow.generated, flow.pdr()
+            flow.flow,
+            flow.source,
+            flow.delivered,
+            flow.generated,
+            flow.pdr()
         );
     }
     Ok(())
 }
 
 fn cmd_topology(args: &Args) -> Result<(), String> {
-    let topology = topology_from(
-        args.options.get("topology").map_or("testbed-a", String::as_str),
-    )?;
+    let topology = topology_from(args.options.get("topology").map_or("testbed-a", String::as_str))?;
     println!("name          : {}", topology.name());
     println!("nodes         : {}", topology.len());
-    println!("access points : {:?}", topology.access_points().iter().map(|a| a.0).collect::<Vec<_>>());
+    println!(
+        "access points : {:?}",
+        topology.access_points().iter().map(|a| a.0).collect::<Vec<_>>()
+    );
     // Link census from the mean-RSS oracle.
     let rf = RfConfig::indoor();
     let mut usable = 0u32;
@@ -214,19 +207,17 @@ fn cmd_graph(args: &Args) -> Result<(), String> {
 fn cmd_manager(args: &Args) -> Result<(), String> {
     use digs_sim::link::LinkModel;
     use digs_whart::{LinkDb, NetworkManager, UpdateCostConfig};
-    let topology = topology_from(
-        args.options.get("topology").map_or("testbed-a", String::as_str),
-    )?;
+    let topology = topology_from(args.options.get("topology").map_or("testbed-a", String::as_str))?;
     let flows: usize = get(args, "flows", 8)?;
     let model = LinkModel::new(&topology, RfConfig::indoor(), 1);
     let db = LinkDb::from_link_model(&model);
-    let mut manager = NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
+    let mut manager =
+        NetworkManager::new(db, topology.access_points(), UpdateCostConfig::default());
     let mut sources = topology.field_devices();
     sources.reverse();
     sources.truncate(flows);
-    let report = manager
-        .full_update(&sources, 1000)
-        .map_err(|e| format!("scheduling failed: {e}"))?;
+    let report =
+        manager.full_update(&sources, 1000).map_err(|e| format!("scheduling failed: {e}"))?;
     println!("centralized WirelessHART update cycle for {}:", topology.name());
     println!("  {report}");
     let schedule = manager.schedule().expect("just computed");

@@ -36,26 +36,18 @@ pub fn all_latencies_ms(runs: &[RunResults]) -> Vec<f64> {
 /// Extracts power-per-received-packet samples (mW), skipping runs that
 /// delivered nothing (infinite power).
 pub fn power_per_packet_samples(runs: &[RunResults]) -> Vec<f64> {
-    runs.iter()
-        .map(RunResults::power_per_received_packet_mw)
-        .filter(|p| p.is_finite())
-        .collect()
+    runs.iter().map(RunResults::power_per_received_packet_mw).filter(|p| p.is_finite()).collect()
 }
 
 /// Extracts duty-cycle-per-received-packet samples (percent/packet).
 pub fn duty_cycle_samples(runs: &[RunResults]) -> Vec<f64> {
-    runs.iter()
-        .map(RunResults::duty_cycle_per_received_packet)
-        .filter(|p| p.is_finite())
-        .collect()
+    runs.iter().map(RunResults::duty_cycle_per_received_packet).filter(|p| p.is_finite()).collect()
 }
 
 /// Extracts repair times (seconds) for an event at `event`, using a
 /// `settle_secs` quiet window, skipping runs with no repair activity.
 pub fn repair_times_secs(runs: &[RunResults], event: Asn, settle_secs: u64) -> Vec<f64> {
-    runs.iter()
-        .filter_map(|r| r.repair_time_secs(event, settle_secs * 100))
-        .collect()
+    runs.iter().filter_map(|r| r.repair_time_secs(event, settle_secs * 100)).collect()
 }
 
 /// Variant of [`run_node_failure`] with a pre-determined victim list: the
@@ -72,11 +64,8 @@ pub fn run_node_failure_with_victims(
     assert!(failure_start_secs < total_secs, "failures must start before the run ends");
     let mut network = Network::new(config);
     network.run_secs(failure_start_secs);
-    let plan = digs_sim::fault::FaultPlan::in_turn(
-        victims,
-        Asn::from_secs(failure_start_secs),
-        each_secs,
-    );
+    let plan =
+        digs_sim::fault::FaultPlan::in_turn(victims, Asn::from_secs(failure_start_secs), each_secs);
     network.set_fault_plan(plan);
     network.run_secs(total_secs - failure_start_secs);
     network.results()
@@ -89,6 +78,18 @@ pub struct FailureRunOutcome {
     pub results: RunResults,
     /// The relays that were switched off, in order.
     pub victims: Vec<digs_sim::ids::NodeId>,
+    /// How many victims the caller asked for. When the live routing graph
+    /// offered fewer distinct relays than requested (short paths, sources
+    /// adjacent to access points), `victims.len() < victims_wanted` and the
+    /// run exercised a milder failure scenario than intended.
+    pub victims_wanted: usize,
+}
+
+impl FailureRunOutcome {
+    /// How many requested victims could not be found on the live graph.
+    pub fn victim_shortfall(&self) -> usize {
+        self.victims_wanted.saturating_sub(self.victims.len())
+    }
 }
 
 /// Runs the paper's Fig. 11 node-failure experiment: the network forms and
@@ -133,6 +134,15 @@ pub fn run_node_failure(
         }
     }
     victims.truncate(victims_wanted);
+    if victims.len() < victims_wanted {
+        eprintln!(
+            "run_node_failure: only {} of {} requested victims found on the \
+             live routing graph (short paths to the access points); the \
+             failure scenario is milder than requested",
+            victims.len(),
+            victims_wanted
+        );
+    }
 
     let plan = digs_sim::fault::FaultPlan::in_turn(
         &victims,
@@ -141,7 +151,7 @@ pub fn run_node_failure(
     );
     network.set_fault_plan(plan);
     network.run_secs(total_secs - failure_start_secs);
-    FailureRunOutcome { results: network.results(), victims }
+    FailureRunOutcome { results: network.results(), victims, victims_wanted }
 }
 
 /// Runs the centralized baseline through a relay failure *including* the
@@ -151,16 +161,22 @@ pub fn run_node_failure(
 /// routes around the dead relay. Returns the results and the modelled
 /// update delay in seconds.
 ///
+/// # Errors
+///
+/// Returns the [`digs_whart::schedule::ScheduleError`] when the flows
+/// cannot be scheduled initially, or when the victim's removal leaves a
+/// flow with no route to an access point (a partitioning failure the
+/// manager cannot recover from).
+///
 /// # Panics
 ///
-/// Panics if the config is not [`crate::config::Protocol::WirelessHart`]
-/// or the flows cannot be (re)scheduled.
+/// Panics if the config is not [`crate::config::Protocol::WirelessHart`].
 pub fn run_whart_with_recovery(
     config: NetworkConfig,
     victim: digs_sim::ids::NodeId,
     failure_start_secs: u64,
     total_secs: u64,
-) -> (RunResults, f64) {
+) -> Result<(RunResults, f64), digs_whart::schedule::ScheduleError> {
     assert_eq!(config.protocol, crate::config::Protocol::WirelessHart);
     let sources: Vec<_> = config.flows.iter().map(|f| f.source).collect();
     let superframe = config.flows.iter().map(|f| f.period).max().unwrap_or(500) as u32;
@@ -173,28 +189,29 @@ pub fn run_whart_with_recovery(
         network.config().topology.access_points(),
         digs_whart::UpdateCostConfig::default(),
     );
-    manager.full_update(&sources, superframe).expect("initial schedule");
+    manager.full_update(&sources, superframe)?;
 
     network.run_secs(failure_start_secs);
-    network.set_fault_plan(digs_sim::fault::FaultPlan::none().with(
-        digs_sim::fault::Outage::permanent(victim, Asn::from_secs(failure_start_secs)),
-    ));
-    let report = manager
-        .on_node_failure(victim, &sources, superframe)
-        .expect("reroutable");
+    network.set_fault_plan(
+        digs_sim::fault::FaultPlan::none()
+            .with(digs_sim::fault::Outage::permanent(victim, Asn::from_secs(failure_start_secs))),
+    );
+    let report = manager.on_node_failure(victim, &sources, superframe)?;
     let delay_secs = report.total_secs().ceil() as u64;
 
     // The network limps on the stale schedule until the update lands.
     let recovery_at = failure_start_secs + delay_secs;
     if recovery_at < total_secs {
         network.run_secs(recovery_at - failure_start_secs);
-        network
-            .reprovision_wirelesshart(manager.schedule().expect("recomputed"));
+        // A successful update always stores the recomputed schedule.
+        if let Some(schedule) = manager.schedule() {
+            network.reprovision_wirelesshart(schedule);
+        }
         network.run_secs(total_secs - recovery_at);
     } else {
         network.run_secs(total_secs - failure_start_secs);
     }
-    (network.results(), report.total_secs())
+    Ok((network.results(), report.total_secs()))
 }
 
 /// The Fig. 9f / 11b micro-benchmark: per-flow delivery success of packets
@@ -209,9 +226,8 @@ pub fn delivery_microbench(
         .flows
         .iter()
         .map(|f| {
-            let rows = (from..=to)
-                .map(|seq| (seq, f.seq_delivered(seq) && seq < f.generated))
-                .collect();
+            let rows =
+                (from..=to).map(|seq| (seq, f.seq_delivered(seq) && seq < f.generated)).collect();
             (f.flow.0, rows)
         })
         .collect()

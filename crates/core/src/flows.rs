@@ -27,7 +27,7 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// Whether the source generates a packet in this slot.
     pub fn generates_at(&self, asn: Asn) -> bool {
-        asn.0 >= self.phase && (asn.0 - self.phase) % self.period == 0
+        asn.0 >= self.phase && (asn.0 - self.phase).is_multiple_of(self.period)
     }
 
     /// How many packets the flow generates in `[0, end)`.
@@ -117,8 +117,7 @@ mod tests {
         let c = random_flow_set(&topo, 8, 500, 2);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        let sources: std::collections::HashSet<NodeId> =
-            a.iter().map(|f| f.source).collect();
+        let sources: std::collections::HashSet<NodeId> = a.iter().map(|f| f.source).collect();
         assert_eq!(sources.len(), 8, "sources must be distinct");
         for f in &a {
             assert!(!topo.is_access_point(f.source));

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod experiment;
 pub mod flows;
@@ -52,6 +53,7 @@ pub mod results;
 pub mod scenarios;
 pub mod stack;
 pub mod timeline;
+pub mod watchdog;
 
 pub use config::{NetworkConfig, Protocol};
 pub use network::Network;

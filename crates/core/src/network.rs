@@ -1,5 +1,8 @@
 //! Builds and runs a complete simulated network.
 
+use crate::audit::{
+    AuditSnapshot, CellClaim, InvariantKind, InvariantViolation, NodeAudit, ParentView,
+};
 use crate::config::{NetworkConfig, Protocol};
 use crate::results::{FlowResult, NodeResult, RunResults};
 use crate::stack::{DigsStack, OrchestraStack, ProtocolStack};
@@ -15,6 +18,15 @@ pub struct Network {
     config: NetworkConfig,
     engine: Engine,
     stacks: Vec<ProtocolStack>,
+    /// Violations collected by [`Network::run_audited`].
+    violations: Vec<InvariantViolation>,
+    /// The cycle signature (cycle members with their parent edges) seen at
+    /// the previous audit, for the frozen-loop debounce. Empty when the
+    /// last audit saw no loop.
+    loop_signature: Vec<(NodeId, Option<NodeId>, Option<NodeId>)>,
+    /// Consecutive audits (in `run_audited`) that observed the *same*
+    /// cycle signature.
+    loop_streak: u64,
 }
 
 impl Network {
@@ -33,13 +45,9 @@ impl Network {
             let db = digs_whart::LinkDb::from_link_model(engine.link_model());
             let graph = digs_whart::build_uplink_graph(&db, &config.topology.access_points());
             let sources: Vec<_> = config.flows.iter().map(|f| f.source).collect();
-            let superframe = config
-                .flows
-                .iter()
-                .map(|f| f.period)
-                .max()
-                .unwrap_or(500)
-                .min(u64::from(u32::MAX)) as u32;
+            let superframe =
+                config.flows.iter().map(|f| f.period).max().unwrap_or(500).min(u64::from(u32::MAX))
+                    as u32;
             Some(
                 digs_whart::CentralSchedule::build(&graph, &sources, superframe)
                     .expect("the manager must be able to schedule the flows"),
@@ -54,12 +62,8 @@ impl Network {
             .node_ids()
             .map(|id| {
                 let is_ap = config.topology.is_access_point(id);
-                let my_flows: Vec<_> = config
-                    .flows
-                    .iter()
-                    .copied()
-                    .filter(|f| f.source == id)
-                    .collect();
+                let my_flows: Vec<_> =
+                    config.flows.iter().copied().filter(|f| f.source == id).collect();
                 let seed = config.seed ^ (u64::from(id.0) << 32);
                 match config.protocol {
                     Protocol::Digs => ProtocolStack::Digs(DigsStack::new(
@@ -95,7 +99,14 @@ impl Network {
                 }
             })
             .collect();
-        Network { config, engine, stacks }
+        Network {
+            config,
+            engine,
+            stacks,
+            violations: Vec::new(),
+            loop_signature: Vec::new(),
+            loop_streak: 0,
+        }
     }
 
     /// The configuration the network was built from.
@@ -133,6 +144,171 @@ impl Network {
     /// Runs for `secs` simulated seconds.
     pub fn run_secs(&mut self, secs: u64) {
         self.run(secs * SLOTS_PER_SECOND);
+    }
+
+    /// How long one *identical* routing loop must persist before
+    /// `run_audited` records it. Global loop-freedom is an *eventual*
+    /// property: belief skew (neighbor-table entries up to a Trickle
+    /// maximum interval stale, or a rebooted node re-selecting its former
+    /// child) can close a transient cycle with every node individually
+    /// obeying the selection rule, and a region under active churn keeps
+    /// forming *different* short-lived cycles. A frozen loop — the bug this
+    /// check exists for — keeps the exact same members and parent edges.
+    /// 120 s comfortably exceeds both the Trickle Imax (~64 s) and the
+    /// longest jammer burst the chaos generator injects, so an unchanged
+    /// cycle that outlives it is a genuine bug, not skew.
+    pub const LOOP_PERSISTENCE_SLOTS: u64 = 12_000;
+
+    /// Runs for `slots` slots, invoking the invariant auditor every `every`
+    /// slots (aligned to multiples of `every` on the global slot clock).
+    /// Violations accumulate on the network and are reported through
+    /// [`RunResults::invariant_violations`].
+    ///
+    /// Per-node invariants are recorded immediately; `RoutingLoop`
+    /// findings are debounced — only recorded once the *same* cycle
+    /// (identical members and parent edges) has been observed for
+    /// [`Network::LOOP_PERSISTENCE_SLOTS`] of consecutive audits (see the
+    /// module docs of [`crate::audit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_audited(&mut self, slots: u64, every: u64) {
+        assert!(every > 0, "audit period must be positive");
+        let persistence_audits = Self::LOOP_PERSISTENCE_SLOTS.div_ceil(every);
+        let end = self.engine.asn().0 + slots;
+        while self.engine.asn().0 < end {
+            let next_audit = (self.engine.asn().0 / every + 1) * every;
+            let step = next_audit.min(end) - self.engine.asn().0;
+            self.engine.run(&mut self.stacks, step);
+            if self.engine.asn().0.is_multiple_of(every) {
+                let snapshot = self.audit_snapshot();
+                let (loops, immediate): (Vec<_>, Vec<_>) = crate::audit::audit(&snapshot)
+                    .into_iter()
+                    .partition(|v| v.kind == InvariantKind::RoutingLoop);
+                self.violations.extend(immediate);
+
+                // Frozen-loop debounce: the streak only grows while the
+                // cycle keeps the exact same shape.
+                let signature: Vec<_> = crate::audit::cycle_members(&snapshot.graph)
+                    .into_iter()
+                    .map(|n| {
+                        let e = snapshot.graph.entry(n);
+                        (n, e.and_then(|e| e.best), e.and_then(|e| e.second))
+                    })
+                    .collect();
+                if signature.is_empty() {
+                    self.loop_streak = 0;
+                } else if signature == self.loop_signature {
+                    self.loop_streak += 1;
+                    if self.loop_streak >= persistence_audits {
+                        self.violations.extend(loops);
+                    }
+                } else {
+                    self.loop_streak = 1;
+                }
+                self.loop_signature = signature;
+            }
+        }
+    }
+
+    /// Violations collected so far by [`Network::run_audited`].
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Captures the distributed state the runtime auditor checks: the
+    /// routing graph plus every node's local parent views, claimed cells,
+    /// child table, and queue occupancy.
+    pub fn audit_snapshot(&self) -> AuditSnapshot {
+        let graph = self.routing_graph();
+        let nodes = self
+            .stacks
+            .iter()
+            .enumerate()
+            .map(|(i, stack)| {
+                let id = NodeId(i as u16);
+                let is_ap = self.config.topology.is_access_point(id);
+                match stack {
+                    ProtocolStack::Digs(s) => {
+                        // The rank checks audit the node's *belief*: the
+                        // neighbor-table rank its selection was based on. A
+                        // held parent with no neighbor entry is itself a
+                        // bug, so surface it as an INFINITE believed rank.
+                        let believed = |parent: Option<NodeId>| {
+                            parent.map(|p| ParentView {
+                                node: p,
+                                believed_rank: s
+                                    .routing()
+                                    .neighbors()
+                                    .get(p)
+                                    .map_or(digs_routing::Rank::INFINITE, |e| e.rank),
+                            })
+                        };
+                        let (best, second) = s.parents();
+                        // Housekeeping counts as live only once the node
+                        // has been synced — and powered — for a full GC
+                        // sweep: a fresh resync may still carry pre-desync
+                        // registrations, and a node in an outage window
+                        // executes no slots at all.
+                        let asn = self.engine.asn();
+                        let sweep_ago = Asn(asn.0.saturating_sub(crate::audit::GC_SWEEP_SLOTS));
+                        let housekeeping_live = s
+                            .synced_at()
+                            .is_some_and(|t| asn.0 - t.0 >= crate::audit::GC_SWEEP_SLOTS)
+                            && self.engine.fault_plan().alive_throughout(id, sweep_ago, asn);
+                        NodeAudit {
+                            node: id,
+                            is_ap,
+                            synced: housekeeping_live,
+                            rank: s.rank(),
+                            best_parent: believed(best),
+                            second_parent: believed(second),
+                            claims: s
+                                .cell_claims()
+                                .into_iter()
+                                .map(|(slot, offset)| CellClaim { slot, offset })
+                                .collect(),
+                            children: s.children_last_seen(),
+                            queue_len: s.app_queue_len(),
+                            queue_capacity: self.config.queue_capacity,
+                        }
+                    }
+                    // Orchestra's autonomous cells are shared (contention),
+                    // not owned, its child table is sender-maintained, and
+                    // its RPL ranks are hysteresis-smoothed rather than
+                    // strictly monotone — only the graph and queue
+                    // invariants apply.
+                    ProtocolStack::Orchestra(s) => NodeAudit {
+                        node: id,
+                        is_ap,
+                        synced: s.is_joined(),
+                        rank: s.rank(),
+                        best_parent: None,
+                        second_parent: None,
+                        claims: Vec::new(),
+                        children: Vec::new(),
+                        queue_len: s.app_queue_len(),
+                        queue_capacity: self.config.queue_capacity,
+                    },
+                    // Centralized: the manager owns the schedule; there is
+                    // no distributed state to audit.
+                    ProtocolStack::WirelessHart(_) => NodeAudit {
+                        node: id,
+                        is_ap,
+                        synced: true,
+                        rank: digs_routing::Rank::INFINITE,
+                        best_parent: None,
+                        second_parent: None,
+                        claims: Vec::new(),
+                        children: Vec::new(),
+                        queue_len: 0,
+                        queue_capacity: self.config.queue_capacity,
+                    },
+                }
+            })
+            .collect();
+        AuditSnapshot { asn: self.engine.asn(), graph, nodes }
     }
 
     /// Re-provisions every WirelessHART stack with a new central schedule
@@ -200,20 +376,17 @@ impl Network {
             .iter()
             .map(|spec| {
                 let source_stack = &self.stacks[spec.source.index()];
-                let generated = source_stack
-                    .telemetry()
-                    .generated
-                    .get(&spec.id)
-                    .copied()
-                    .unwrap_or(0);
+                let generated =
+                    source_stack.telemetry().generated.get(&spec.id).copied().unwrap_or(0);
                 let mut delivered_seqs = std::collections::BTreeSet::new();
                 let mut latencies = Vec::new();
                 for ((flow, seq), at) in &first_delivery {
                     if *flow == spec.id.0 {
                         delivered_seqs.insert(*seq);
                         let g = gen_at[&(*flow, *seq)];
-                        latencies.push((at.0.saturating_sub(g.0)) as f64
-                            * digs_sim::time::SLOT_MS as f64);
+                        latencies.push(
+                            (at.0.saturating_sub(g.0)) as f64 * digs_sim::time::SLOT_MS as f64,
+                        );
                     }
                 }
                 FlowResult {
@@ -246,11 +419,8 @@ impl Network {
             })
             .collect();
 
-        let mut parent_change_times: Vec<Asn> = self
-            .stacks
-            .iter()
-            .flat_map(|s| s.telemetry().parent_changes.iter().copied())
-            .collect();
+        let mut parent_change_times: Vec<Asn> =
+            self.stacks.iter().flat_map(|s| s.telemetry().parent_changes.iter().copied()).collect();
         parent_change_times.sort_unstable();
 
         let retry_drops = self.stacks.iter().map(|s| s.telemetry().retry_drops).sum();
@@ -263,6 +433,7 @@ impl Network {
             parent_change_times,
             retry_drops,
             queue_drops,
+            invariant_violations: self.violations.clone(),
         }
     }
 }
@@ -291,11 +462,7 @@ mod tests {
             "most nodes should join: {}",
             results.fraction_joined()
         );
-        assert!(
-            results.network_pdr() > 0.5,
-            "PDR should be reasonable: {}",
-            results.network_pdr()
-        );
+        assert!(results.network_pdr() > 0.5, "PDR should be reasonable: {}", results.network_pdr());
         let graph = net.routing_graph();
         assert!(graph.is_dag(), "routing state must be a DAG");
     }
@@ -310,23 +477,46 @@ mod tests {
             "most nodes should join: {}",
             results.fraction_joined()
         );
-        assert!(
-            results.network_pdr() > 0.5,
-            "PDR should be reasonable: {}",
-            results.network_pdr()
-        );
+        assert!(results.network_pdr() > 0.5, "PDR should be reasonable: {}", results.network_pdr());
     }
 
     #[test]
     fn digs_nodes_acquire_backup_parents() {
         let mut net = Network::new(tiny_config(Protocol::Digs));
-        net.run_secs(120);
+        // Backup acquisition needs the join-in gossip to propagate a second
+        // rank-feasible neighbor to everyone; 120 s is within the noise of
+        // the Trickle Imax, so give it three minutes.
+        net.run_secs(180);
         let graph = net.routing_graph();
         assert!(
             graph.fraction_with_backup() > 0.5,
             "graph routing should give most nodes a backup: {}",
             graph.fraction_with_backup()
         );
+    }
+
+    #[test]
+    fn audited_digs_run_is_violation_free() {
+        let mut net = Network::new(tiny_config(Protocol::Digs));
+        net.run_audited(120 * digs_sim::time::SLOTS_PER_SECOND, 1000);
+        let results = net.results();
+        assert!(
+            results.invariant_violations.is_empty(),
+            "healthy run must satisfy every invariant: {:?}",
+            results.invariant_violations
+        );
+    }
+
+    #[test]
+    fn audit_snapshot_captures_claims_and_children() {
+        let mut net = Network::new(tiny_config(Protocol::Digs));
+        net.run_secs(120);
+        let snap = net.audit_snapshot();
+        let claimed: usize = snap.nodes.iter().map(|n| n.claims.len()).sum();
+        let children: usize = snap.nodes.iter().map(|n| n.children.len()).sum();
+        assert!(claimed > 0, "joined field devices must claim dedicated cells");
+        assert!(children > 0, "parents must register children");
+        assert!(snap.nodes.iter().all(|n| !n.is_ap || n.claims.is_empty()));
     }
 
     #[test]
@@ -358,8 +548,7 @@ mod whart_tests {
 
     #[test]
     fn wirelesshart_network_delivers_on_static_schedule() {
-        let mut flows =
-            crate::flows::flow_set_from_sources(&[NodeId(12), NodeId(17)], 500);
+        let mut flows = crate::flows::flow_set_from_sources(&[NodeId(12), NodeId(17)], 500);
         for f in &mut flows {
             f.phase += 100; // one superframe of slack
         }
@@ -410,9 +599,10 @@ mod whart_tests {
         };
         let mut net = Network::new(config);
         net.run_secs(60);
-        net.set_fault_plan(digs_sim::fault::FaultPlan::none().with(
-            digs_sim::fault::Outage::permanent(relay, net.asn()),
-        ));
+        net.set_fault_plan(
+            digs_sim::fault::FaultPlan::none()
+                .with(digs_sim::fault::Outage::permanent(relay, net.asn())),
+        );
         net.run_secs(60);
         let failed_pdr = net.results().network_pdr();
         assert!(

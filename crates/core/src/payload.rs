@@ -67,7 +67,13 @@ mod tests {
     fn frame_kinds_map_to_traffic_classes() {
         assert_eq!(Payload::Eb.frame_kind(), FrameKind::Beacon);
         assert_eq!(
-            Payload::JoinIn(JoinIn { rank: digs_routing::Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }).frame_kind(),
+            Payload::JoinIn(JoinIn {
+                rank: digs_routing::Rank(2),
+                etx_w: 1.0,
+                best_parent: None,
+                second_parent: None
+            })
+            .frame_kind(),
             FrameKind::Routing
         );
         let data = Payload::Data(DataPacket {
@@ -83,7 +89,12 @@ mod tests {
     fn frame_sizes_fit_802154() {
         for p in [
             Payload::Eb,
-            Payload::JoinIn(JoinIn { rank: digs_routing::Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }),
+            Payload::JoinIn(JoinIn {
+                rank: digs_routing::Rank(2),
+                etx_w: 1.0,
+                best_parent: None,
+                second_parent: None,
+            }),
             Payload::Data(DataPacket {
                 flow: FlowId(0),
                 seq: 0,

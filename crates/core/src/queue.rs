@@ -62,6 +62,12 @@ impl<T> BoundedQueue<T> {
     pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
         self.items.retain(f);
     }
+
+    /// Discards every queued item (a cold reboot wiping the mote's RAM);
+    /// the drop counter is preserved.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +111,18 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: BoundedQueue<i32> = BoundedQueue::new(0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_drop_count() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.drops(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.drops(), 1, "drop accounting survives a wipe");
+        assert!(q.push(4));
     }
 }

@@ -80,6 +80,9 @@ pub struct RunResults {
     pub retry_drops: u64,
     /// Packets dropped on queue overflow, network-wide.
     pub queue_drops: u64,
+    /// Invariant violations recorded by the runtime auditor (empty when the
+    /// run was not audited — see [`crate::network::Network::run_audited`]).
+    pub invariant_violations: Vec<crate::audit::InvariantViolation>,
 }
 
 impl RunResults {
@@ -93,10 +96,7 @@ impl RunResults {
 
     /// The worst per-flow PDR.
     pub fn worst_flow_pdr(&self) -> f64 {
-        self.flows
-            .iter()
-            .map(FlowResult::pdr)
-            .fold(1.0, f64::min)
+        self.flows.iter().map(FlowResult::pdr).fold(1.0, f64::min)
     }
 
     /// All delivered-packet latencies, ms.
@@ -163,11 +163,7 @@ impl RunResults {
 
     /// Join times of all nodes that joined, in seconds (Fig. 13).
     pub fn join_times_secs(&self) -> Vec<f64> {
-        self.nodes
-            .iter()
-            .filter_map(|n| n.joined_at)
-            .map(|asn| asn.as_secs_f64())
-            .collect()
+        self.nodes.iter().filter_map(|n| n.joined_at).map(|asn| asn.as_secs_f64()).collect()
     }
 
     /// Fraction of nodes that joined.
@@ -175,8 +171,7 @@ impl RunResults {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().filter(|n| n.joined_at.is_some()).count() as f64
-            / self.nodes.len() as f64
+        self.nodes.iter().filter(|n| n.joined_at.is_some()).count() as f64 / self.nodes.len() as f64
     }
 
     /// Network repair time after an event at `event`: the time until the
@@ -185,12 +180,8 @@ impl RunResults {
     /// nothing was disturbed, or the protocol routed around it without any
     /// parent change — instantaneous repair).
     pub fn repair_time_secs(&self, event: Asn, settle: u64) -> Option<f64> {
-        let mut changes: Vec<u64> = self
-            .parent_change_times
-            .iter()
-            .filter(|t| **t >= event)
-            .map(|t| t.0)
-            .collect();
+        let mut changes: Vec<u64> =
+            self.parent_change_times.iter().filter(|t| **t >= event).map(|t| t.0).collect();
         changes.sort_unstable();
         changes.dedup();
         if changes.is_empty() {
@@ -246,12 +237,16 @@ mod tests {
             parent_change_times: Vec::new(),
             retry_drops: 0,
             queue_drops: 0,
+            invariant_violations: Vec::new(),
         }
     }
 
     #[test]
     fn pdr_arithmetic() {
-        let r = results(vec![flow(10, &[0, 1, 2, 3, 4], 100.0), flow(10, &(0..10).collect::<Vec<_>>(), 50.0)], vec![]);
+        let r = results(
+            vec![flow(10, &[0, 1, 2, 3, 4], 100.0), flow(10, &(0..10).collect::<Vec<_>>(), 50.0)],
+            vec![],
+        );
         assert!((r.network_pdr() - 0.75).abs() < 1e-12);
         assert!((r.worst_flow_pdr() - 0.5).abs() < 1e-12);
         assert_eq!(r.total_delivered(), 15);

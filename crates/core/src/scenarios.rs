@@ -141,11 +141,8 @@ pub fn central_relays(topology: &Topology, exclude: &[NodeId], count: usize) -> 
         n += 1.0;
     }
     let center = Position::new(cx / n, cy / n);
-    let mut devices: Vec<NodeId> = topology
-        .field_devices()
-        .into_iter()
-        .filter(|d| !exclude.contains(d))
-        .collect();
+    let mut devices: Vec<NodeId> =
+        topology.field_devices().into_iter().filter(|d| !exclude.contains(d)).collect();
     devices.sort_by(|a, b| {
         let da = topology.position(*a).distance(&center);
         let db = topology.position(*b).distance(&center);
@@ -198,7 +195,8 @@ pub fn testbed_a_node_failure(protocol: Protocol, flow_seed: u64) -> NetworkConf
     let flows = delay_flows(far_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
     let sources: Vec<NodeId> = flows.iter().map(|f| f.source).collect();
     let victims = central_relays(&topology, &sources, 4);
-    let faults = FaultPlan::in_turn(&victims, Asn::from_secs(FAILURE_START_SECS), FAILURE_EACH_SECS);
+    let faults =
+        FaultPlan::in_turn(&victims, Asn::from_secs(FAILURE_START_SECS), FAILURE_EACH_SECS);
     NetworkConfig::builder(topology)
         .protocol(protocol)
         .seed(flow_seed.wrapping_mul(0xfa11) ^ 0xA)
@@ -237,10 +235,7 @@ pub fn large_scale(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
 /// Fig. 13 scenario: a cold-start Testbed A network with no flows, used to
 /// measure per-node joining time.
 pub fn initialization(protocol: Protocol, seed: u64) -> NetworkConfig {
-    NetworkConfig::builder(Topology::testbed_a())
-        .protocol(protocol)
-        .seed(seed)
-        .build()
+    NetworkConfig::builder(Topology::testbed_a()).protocol(protocol).seed(seed).build()
 }
 
 #[cfg(test)]

@@ -44,6 +44,21 @@ pub struct DigsStack {
     last_tx: Option<LastTx>,
     seq_next: u32,
     telemetry: StackTelemetry,
+    /// Construction parameters retained so a cold reboot (engine `reset`)
+    /// can reprovision the stack from factory state.
+    provision: Provision,
+}
+
+/// The immutable provisioning a mote ships with: everything `reset` needs
+/// to rebuild routing and scheduling from scratch.
+#[derive(Debug, Clone, Copy)]
+struct Provision {
+    num_aps: u16,
+    slotframes: SlotframeLengths,
+    attempts: u8,
+    routing_config: RoutingConfig,
+    queue_capacity: usize,
+    seed: u64,
 }
 
 impl DigsStack {
@@ -83,6 +98,14 @@ impl DigsStack {
             last_tx: None,
             seq_next: 0,
             telemetry,
+            provision: Provision {
+                num_aps,
+                slotframes,
+                attempts,
+                routing_config,
+                queue_capacity,
+                seed,
+            },
         }
     }
 
@@ -106,6 +129,17 @@ impl DigsStack {
         self.synced_at.is_some() && self.routing.is_joined()
     }
 
+    /// Whether the node holds TSCH synchronization (a desynced node is
+    /// scanning for EBs and its housekeeping is dormant).
+    pub fn is_synced(&self) -> bool {
+        self.synced_at.is_some()
+    }
+
+    /// When the node last (re-)acquired synchronization, if it has any.
+    pub fn synced_at(&self) -> Option<Asn> {
+        self.synced_at
+    }
+
     /// Read access to the routing state machine (snapshots, assertions).
     pub fn routing(&self) -> &DigsRouting {
         &self.routing
@@ -121,13 +155,35 @@ impl DigsStack {
         self.app_queue.len()
     }
 
+    /// Registered children with each one's last-heard time, for the
+    /// auditor's child-table invariant.
+    pub fn children_last_seen(&self) -> Vec<(NodeId, Asn)> {
+        self.scheduler
+            .children()
+            .map(|(c, _)| (c, self.child_last_seen.get(&c).copied().unwrap_or(Asn::ZERO)))
+            .collect()
+    }
+
+    /// The dedicated `(application slot, channel offset)` cells this node
+    /// transmits in under Eq. 4 — empty for access points (they own no TX
+    /// cells) and for unjoined nodes (they never fire a data cell).
+    pub fn cell_claims(&self) -> Vec<(u32, digs_sim::channel::ChannelOffset)> {
+        if self.is_ap || !self.is_joined() {
+            return Vec::new();
+        }
+        (1..=self.scheduler.attempts())
+            .map(|p| {
+                (self.scheduler.tx_slot(self.id, p), DigsScheduler::attempt_offset(self.id, p))
+            })
+            .collect()
+    }
+
     fn process_routing_events(&mut self, events: Vec<RoutingEvent>, asn: Asn) {
         for event in events {
             match event {
                 RoutingEvent::BroadcastJoinIn(msg) => {
                     // Keep only the freshest join-in in the queue.
-                    self.routing_queue
-                        .retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
+                    self.routing_queue.retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
                     self.routing_queue.push(QueuedRoutingMsg {
                         dest: Dest::Broadcast,
                         payload: Payload::JoinIn(msg),
@@ -160,8 +216,7 @@ impl DigsStack {
                     // the new parents hear it (or the callback), their
                     // schedules lack our receive cells.
                     if best.is_some() {
-                        self.routing_queue
-                            .retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
+                        self.routing_queue.retain(|m| !matches!(m.payload, Payload::JoinIn(_)));
                         self.routing_queue.push(QueuedRoutingMsg {
                             dest: Dest::Broadcast,
                             payload: Payload::JoinIn(self.routing.join_in()),
@@ -187,7 +242,7 @@ impl DigsStack {
             return scheduled;
         }
         let cycle = asn.0 / u64::from(self.scheduler.lengths().app);
-        let probing = cycle % 4 == 0;
+        let probing = cycle.is_multiple_of(4);
         if probing {
             scheduled
         } else {
@@ -237,7 +292,7 @@ impl NodeStack for DigsStack {
         // Garbage-collect children not heard from in three Trickle maximum
         // intervals (192 s) — long enough that a child whose join-ins are
         // paced at Imax is never evicted while alive.
-        if asn.0 % 64 == 0 && !self.child_last_seen.is_empty() {
+        if asn.0.is_multiple_of(64) && !self.child_last_seen.is_empty() {
             let horizon = asn.0.saturating_sub(19_200);
             let stale: Vec<NodeId> = self
                 .child_last_seen
@@ -274,7 +329,7 @@ impl NodeStack for DigsStack {
             }
             CellAction::Shared => match self.routing_queue.front() {
                 Some(msg) => {
-                    let (dest, payload) = (msg.dest, msg.payload.clone());
+                    let (dest, payload) = (msg.dest, msg.payload);
                     self.last_tx = Some(match dest {
                         Dest::Broadcast => LastTx::RoutingBroadcast,
                         Dest::Unicast(to) => LastTx::RoutingUnicast { to },
@@ -390,14 +445,40 @@ impl NodeStack for DigsStack {
                     self.telemetry
                         .deliveries
                         .push(DeliveryRecord { packet: *packet, delivered_at: asn });
-                } else if !self
-                    .app_queue
-                    .push(QueuedPacket { packet: *packet, failed_attempts: 0 })
+                } else if !self.app_queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 })
                 {
                     self.telemetry.queue_drops += 1;
                 }
             }
         }
+    }
+
+    fn reset(&mut self, asn: Asn) {
+        // Cold reboot: routing, schedule, queues, children, and sync are
+        // factory-fresh; the node must re-associate via EBs and rejoin the
+        // graph from scratch. Sequence numbers and telemetry survive — they
+        // are harness accounting, not mote RAM, and flow bookkeeping must
+        // stay cumulative across the reboot.
+        let p = self.provision;
+        let seed = digs_sim::rng::mix(p.seed, asn.0, 0x001e_b007, 0);
+        self.routing = DigsRouting::new(self.id, self.is_ap, p.routing_config, seed, asn);
+        self.scheduler = DigsScheduler::new(self.id, p.num_aps, p.slotframes, p.attempts);
+        self.app_queue = BoundedQueue::new(p.queue_capacity);
+        self.routing_queue = BoundedQueue::new(p.queue_capacity);
+        self.child_last_seen.clear();
+        self.second_confirmed = false;
+        self.synced_at = if self.is_ap { Some(asn) } else { None };
+        self.last_tx = None;
+    }
+
+    fn desync(&mut self, _asn: Asn) {
+        if self.is_ap {
+            return; // APs are wired time roots and cannot lose sync.
+        }
+        // Routing state and queues survive, but the radio must re-acquire
+        // slot alignment from an EB before any cell lines up again.
+        self.synced_at = None;
+        self.last_tx = None;
     }
 
     fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {
@@ -448,8 +529,7 @@ impl NodeStack for DigsStack {
                     self.process_routing_events(events, asn);
                 }
                 TxOutcome::NoAck => {
-                    let budget =
-                        u16::from(self.scheduler.attempts()) * u16::from(self.max_cycles);
+                    let budget = u16::from(self.scheduler.attempts()) * u16::from(self.max_cycles);
                     if let Some(mut item) = self.app_queue.pop() {
                         item.failed_attempts = item.failed_attempts.saturating_add(1);
                         if u16::from(item.failed_attempts) >= budget {
@@ -457,7 +537,8 @@ impl NodeStack for DigsStack {
                         } else {
                             // Head-of-line: retries keep FIFO position by
                             // re-inserting at the front via rebuild.
-                            let mut rest: Vec<QueuedPacket> = Vec::with_capacity(self.app_queue.len());
+                            let mut rest: Vec<QueuedPacket> =
+                                Vec::with_capacity(self.app_queue.len());
                             while let Some(p) = self.app_queue.pop() {
                                 rest.push(p);
                             }

@@ -173,6 +173,22 @@ impl NodeStack for ProtocolStack {
             ProtocolStack::WirelessHart(s) => s.on_tx_outcome(asn, outcome),
         }
     }
+
+    fn reset(&mut self, asn: Asn) {
+        match self {
+            ProtocolStack::Digs(s) => s.reset(asn),
+            ProtocolStack::Orchestra(s) => s.reset(asn),
+            ProtocolStack::WirelessHart(s) => s.reset(asn),
+        }
+    }
+
+    fn desync(&mut self, asn: Asn) {
+        match self {
+            ProtocolStack::Digs(s) => s.desync(asn),
+            ProtocolStack::Orchestra(s) => s.desync(asn),
+            ProtocolStack::WirelessHart(s) => s.desync(asn),
+        }
+    }
 }
 
 #[cfg(test)]

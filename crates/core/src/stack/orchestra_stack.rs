@@ -39,6 +39,19 @@ pub struct OrchestraStack {
     last_tx: Option<LastTx>,
     seq_next: u32,
     telemetry: StackTelemetry,
+    /// Construction parameters retained so a cold reboot (engine `reset`)
+    /// can reprovision the stack from factory state.
+    provision: Provision,
+}
+
+/// The immutable provisioning a mote ships with: everything `reset` needs
+/// to rebuild routing and scheduling from scratch.
+#[derive(Debug, Clone, Copy)]
+struct Provision {
+    slotframes: SlotframeLengths,
+    routing_config: RoutingConfig,
+    queue_capacity: usize,
+    seed: u64,
 }
 
 impl OrchestraStack {
@@ -71,6 +84,7 @@ impl OrchestraStack {
             last_tx: None,
             seq_next: 0,
             telemetry,
+            provision: Provision { slotframes, routing_config, queue_capacity, seed },
         }
     }
 
@@ -108,8 +122,7 @@ impl OrchestraStack {
         for event in events {
             match event {
                 RoutingEvent::BroadcastDio(dio) => {
-                    self.routing_queue
-                        .retain(|m| !matches!(m.payload, Payload::Dio(_)));
+                    self.routing_queue.retain(|m| !matches!(m.payload, Payload::Dio(_)));
                     self.routing_queue.push(QueuedRoutingMsg {
                         dest: Dest::Broadcast,
                         payload: Payload::Dio(dio),
@@ -166,7 +179,7 @@ impl NodeStack for OrchestraStack {
 
         // Garbage-collect children not heard from in three Trickle maximum
         // intervals (192 s).
-        if asn.0 % 64 == 0 && !self.child_last_seen.is_empty() {
+        if asn.0.is_multiple_of(64) && !self.child_last_seen.is_empty() {
             let horizon = asn.0.saturating_sub(19_200);
             let stale: Vec<NodeId> = self
                 .child_last_seen
@@ -203,7 +216,7 @@ impl NodeStack for OrchestraStack {
             }
             CellAction::Shared => match self.routing_queue.front() {
                 Some(msg) => {
-                    let (dest, payload) = (msg.dest, msg.payload.clone());
+                    let (dest, payload) = (msg.dest, msg.payload);
                     self.last_tx = Some(match dest {
                         Dest::Broadcast => LastTx::RoutingBroadcast,
                         Dest::Unicast(to) => LastTx::RoutingUnicast { to },
@@ -284,14 +297,35 @@ impl NodeStack for OrchestraStack {
                     self.telemetry
                         .deliveries
                         .push(DeliveryRecord { packet: *packet, delivered_at: asn });
-                } else if !self
-                    .app_queue
-                    .push(QueuedPacket { packet: *packet, failed_attempts: 0 })
+                } else if !self.app_queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 })
                 {
                     self.telemetry.queue_drops += 1;
                 }
             }
         }
+    }
+
+    fn reset(&mut self, asn: Asn) {
+        // Cold reboot: RPL state, Orchestra cells, queues, children, and
+        // sync are factory-fresh. Sequence numbers and telemetry survive —
+        // harness accounting, not mote RAM.
+        let p = self.provision;
+        let seed = digs_sim::rng::mix(p.seed, asn.0, 0x001e_b007, 1);
+        self.routing = RplRouting::new(self.id, self.is_ap, p.routing_config, seed, asn);
+        self.scheduler = OrchestraScheduler::new(self.id, p.slotframes);
+        self.app_queue = BoundedQueue::new(p.queue_capacity);
+        self.routing_queue = BoundedQueue::new(p.queue_capacity);
+        self.child_last_seen.clear();
+        self.synced_at = if self.is_ap { Some(asn) } else { None };
+        self.last_tx = None;
+    }
+
+    fn desync(&mut self, _asn: Asn) {
+        if self.is_ap {
+            return; // APs are wired time roots and cannot lose sync.
+        }
+        self.synced_at = None;
+        self.last_tx = None;
     }
 
     fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {

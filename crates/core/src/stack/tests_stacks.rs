@@ -42,13 +42,7 @@ fn digs_source(id: u16, flow_period: u64) -> DigsStack {
 }
 
 fn eb_frame(from: u16) -> Frame<Payload> {
-    Frame::new(
-        NodeId(from),
-        Dest::Broadcast,
-        FrameKind::Beacon,
-        50,
-        Payload::Eb,
-    )
+    Frame::new(NodeId(from), Dest::Broadcast, FrameKind::Beacon, 50, Payload::Eb)
 }
 
 fn join_in_frame(from: u16, rank: u16, etx_w: f64) -> Frame<Payload> {
@@ -57,12 +51,7 @@ fn join_in_frame(from: u16, rank: u16, etx_w: f64) -> Frame<Payload> {
         Dest::Broadcast,
         FrameKind::Routing,
         64,
-        Payload::JoinIn(JoinIn {
-            rank: Rank(rank),
-            etx_w,
-            best_parent: None,
-            second_parent: None,
-        }),
+        Payload::JoinIn(JoinIn { rank: Rank(rank), etx_w, best_parent: None, second_parent: None }),
     )
 }
 
@@ -111,7 +100,7 @@ fn ap_stack_is_synced_and_joined_from_birth() {
 fn join_in_after_sync_selects_parents() {
     let mut s = digs_stack(5, false);
     let asn = sync(&mut s, 0);
-    s.on_frame(Asn(asn + 1), &join_in_frame(0, 1, 0.0), STRONG, );
+    s.on_frame(Asn(asn + 1), &join_in_frame(0, 1, 0.0), STRONG);
     assert!(s.is_joined());
     assert_eq!(s.parents().0, Some(NodeId(0)));
     assert!(s.telemetry().joined_at.is_some());
@@ -175,13 +164,8 @@ fn ap_records_deliveries() {
         origin: NodeId(5),
         generated_at: Asn(10),
     };
-    let frame = Frame::new(
-        NodeId(5),
-        Dest::Unicast(NodeId(0)),
-        FrameKind::Data,
-        90,
-        Payload::Data(packet),
-    );
+    let frame =
+        Frame::new(NodeId(5), Dest::Unicast(NodeId(0)), FrameKind::Data, 90, Payload::Data(packet));
     ap.on_frame(Asn(100), &frame, STRONG);
     assert_eq!(ap.telemetry().deliveries.len(), 1);
     assert_eq!(ap.telemetry().deliveries[0].packet.seq, 9);
@@ -197,13 +181,8 @@ fn relay_forwards_instead_of_delivering() {
         origin: NodeId(9),
         generated_at: Asn(10),
     };
-    let frame = Frame::new(
-        NodeId(9),
-        Dest::Unicast(NodeId(5)),
-        FrameKind::Data,
-        90,
-        Payload::Data(packet),
-    );
+    let frame =
+        Frame::new(NodeId(9), Dest::Unicast(NodeId(5)), FrameKind::Data, 90, Payload::Data(packet));
     relay.on_frame(Asn(100), &frame, STRONG);
     assert!(relay.telemetry().deliveries.is_empty());
     assert_eq!(relay.app_queue_len(), 1);
@@ -218,13 +197,8 @@ fn data_not_addressed_to_us_is_dropped() {
         origin: NodeId(9),
         generated_at: Asn(10),
     };
-    let frame = Frame::new(
-        NodeId(9),
-        Dest::Unicast(NodeId(7)),
-        FrameKind::Data,
-        90,
-        Payload::Data(packet),
-    );
+    let frame =
+        Frame::new(NodeId(9), Dest::Unicast(NodeId(7)), FrameKind::Data, 90, Payload::Data(packet));
     s.on_frame(Asn(100), &frame, STRONG);
     assert_eq!(s.app_queue_len(), 0);
 }
@@ -288,11 +262,7 @@ fn orchestra_stack_mirrors_digs_lifecycle() {
         Dest::Broadcast,
         FrameKind::Routing,
         64,
-        Payload::Dio(digs_routing::messages::Dio {
-            rank: Rank::ROOT,
-            path_etx: 0.0,
-            parent: None,
-        }),
+        Payload::Dio(digs_routing::messages::Dio { rank: Rank::ROOT, path_etx: 0.0, parent: None }),
     );
     s.on_frame(Asn(asn + 1), &dio, STRONG);
     assert!(s.is_joined());

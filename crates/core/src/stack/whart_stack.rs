@@ -77,20 +77,18 @@ impl WhartStack {
         }
         let mut queues = BTreeMap::new();
         for cell in schedule.cells_of(id) {
-            queues
-                .entry(cell.flow)
-                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+            queues.entry(cell.flow).or_insert_with(|| BoundedQueue::new(queue_capacity));
         }
         for f in &flows {
-            queues
-                .entry(f.id)
-                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+            queues.entry(f.id).or_insert_with(|| BoundedQueue::new(queue_capacity));
         }
-        let mut telemetry = StackTelemetry::default();
         // WirelessHART devices are provisioned (synced + routed) by the
         // manager before the data phase begins.
-        telemetry.synced_at = Some(Asn::ZERO);
-        telemetry.joined_at = Some(Asn::ZERO);
+        let telemetry = StackTelemetry {
+            synced_at: Some(Asn::ZERO),
+            joined_at: Some(Asn::ZERO),
+            ..StackTelemetry::default()
+        };
         WhartStack {
             id,
             is_ap,
@@ -125,9 +123,7 @@ impl WhartStack {
             self.cells.insert(cell.slot, role);
         }
         for cell in schedule.cells_of(self.id) {
-            self.queues
-                .entry(cell.flow)
-                .or_insert_with(|| BoundedQueue::new(queue_capacity));
+            self.queues.entry(cell.flow).or_insert_with(|| BoundedQueue::new(queue_capacity));
         }
     }
 
@@ -201,14 +197,31 @@ impl NodeStack for WhartStack {
             return;
         }
         if self.is_ap {
-            self.telemetry
-                .deliveries
-                .push(DeliveryRecord { packet: *packet, delivered_at: asn });
+            self.telemetry.deliveries.push(DeliveryRecord { packet: *packet, delivered_at: asn });
         } else if let Some(queue) = self.queues.get_mut(&packet.flow) {
             if !queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 }) {
                 self.telemetry.queue_drops += 1;
             }
         }
+    }
+
+    fn reset(&mut self, _asn: Asn) {
+        // Cold reboot of a provisioned device: everything queued in RAM is
+        // lost. The cell table and superframe come back as provisioned —
+        // WirelessHART devices are configured by the manager during
+        // (re)joining, which the centralized plane handles out of band — so
+        // the node resumes its schedule immediately but with empty queues.
+        for queue in self.queues.values_mut() {
+            queue.clear();
+        }
+        self.last_tx = None;
+    }
+
+    fn desync(&mut self, _asn: Asn) {
+        // WirelessHART time sync is maintained by the manager's provisioned
+        // keepalives; a drifted device is re-synchronized out of band. The
+        // in-flight slot's transmission, if any, is abandoned.
+        self.last_tx = None;
     }
 
     fn on_tx_outcome(&mut self, _asn: Asn, outcome: TxOutcome) {

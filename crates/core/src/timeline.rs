@@ -44,11 +44,7 @@ pub fn delivery_timeline(
     window_secs: u64,
 ) -> Vec<TimelinePoint> {
     assert!(window_secs > 0, "window must be positive");
-    assert_eq!(
-        specs.len(),
-        results.flows.len(),
-        "one spec per flow result required"
-    );
+    assert_eq!(specs.len(), results.flows.len(), "one spec per flow result required");
     let window_slots = Asn::from_secs(window_secs).0;
     let horizon = results.duration.0;
     let n_windows = horizon.div_ceil(window_slots) as usize;
@@ -114,6 +110,7 @@ mod tests {
             parent_change_times: Vec::new(),
             retry_drops: 0,
             queue_drops: 0,
+            invariant_violations: Vec::new(),
         }
     }
 

@@ -92,6 +92,7 @@ proptest! {
             parent_change_times: Vec::new(),
             retry_drops: 0,
             queue_drops: 0,
+            invariant_violations: Vec::new(),
         };
         let timeline = delivery_timeline(&results, &[spec], window);
         let gen_sum: u32 = timeline.iter().map(|p| p.generated).sum();

@@ -26,10 +26,8 @@ pub fn cdf_table(series: &[(&str, &Cdf)], value_label: &str, steps: usize) -> St
     }
     let _ = writeln!(out);
     // Merge the percentile grids of all series on the value axis.
-    let mut values: Vec<f64> = series
-        .iter()
-        .flat_map(|(_, cdf)| cdf.series(steps).into_iter().map(|(v, _)| v))
-        .collect();
+    let mut values: Vec<f64> =
+        series.iter().flat_map(|(_, cdf)| cdf.series(steps).into_iter().map(|(v, _)| v)).collect();
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     for v in values {
@@ -109,11 +107,7 @@ mod tests {
         assert!(t.contains("orchestra"));
         assert!(t.contains("median"));
         // Monotone fractions on each row: last value has F = 1 for both.
-        let last_line = t
-            .lines()
-            .filter(|l| l.starts_with(' ') && l.contains('|'))
-            .last()
-            .expect("rows");
+        let last_line = t.lines().rfind(|l| l.starts_with(' ') && l.contains('|')).expect("rows");
         assert!(last_line.contains("1.000") || t.contains("1.000"));
     }
 

@@ -160,7 +160,6 @@ impl Cdf {
     }
 }
 
-
 /// A two-sided confidence interval around a sample mean.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ConfidenceInterval {
@@ -350,7 +349,6 @@ mod tests {
         assert_eq!(cdf.len(), 4);
     }
 
-
     #[test]
     fn confidence_interval_brackets_mean() {
         let samples: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
@@ -362,7 +360,7 @@ mod tests {
 
     #[test]
     fn wider_level_wider_interval() {
-        let samples: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        let samples: Vec<f64> = (0..50).map(f64::from).collect();
         let ci90 = mean_confidence_interval(&samples, 0.90).expect("ok");
         let ci99 = mean_confidence_interval(&samples, 0.99).expect("ok");
         assert!(ci99.half_width() > ci90.half_width());

@@ -107,7 +107,13 @@ impl DigsRouting {
     /// Creates the state machine. Access points (`is_root`) start at rank 1
     /// with `ETXw = 0` and immediately begin advertising; field devices
     /// start detached at infinite rank.
-    pub fn new(id: NodeId, is_root: bool, config: RoutingConfig, seed: u64, now: Asn) -> DigsRouting {
+    pub fn new(
+        id: NodeId,
+        is_root: bool,
+        config: RoutingConfig,
+        seed: u64,
+        now: Asn,
+    ) -> DigsRouting {
         DigsRouting {
             id,
             is_root,
@@ -231,17 +237,21 @@ impl DigsRouting {
     /// Handles a received join-in broadcast. Besides evaluating the sender
     /// as a parent, this refreshes our child table from the parent ids the
     /// sender advertises (self-healing when a joined-callback was lost).
-    pub fn on_join_in(&mut self, from: NodeId, msg: &JoinIn, rss: Dbm, now: Asn) -> Vec<RoutingEvent> {
+    pub fn on_join_in(
+        &mut self,
+        from: NodeId,
+        msg: &JoinIn,
+        rss: Dbm,
+        now: Asn,
+    ) -> Vec<RoutingEvent> {
         self.trickle.hear_consistent();
         if from == self.id {
             return Vec::new();
         }
         // A neighbor advertising infinite cost has detached; keep the entry
         // (link quality is still real) but it won't qualify as a parent.
-        self.neighbors
-            .record_advertisement(from, msg.rank, msg.etx_w, rss, now);
-        let advertises_us =
-            msg.best_parent == Some(self.id) || msg.second_parent == Some(self.id);
+        self.neighbors.record_advertisement(from, msg.rank, msg.etx_w, rss, now);
+        let advertises_us = msg.best_parent == Some(self.id) || msg.second_parent == Some(self.id);
         if advertises_us {
             self.children.insert(from);
         } else {
@@ -305,9 +315,8 @@ impl DigsRouting {
         if now.0 % 64 == u64::from(self.id.0) % 64 && now.0 >= self.config.neighbor_timeout {
             let horizon = Asn(now.0 - self.config.neighbor_timeout);
             let evicted = self.neighbors.evict_stale(horizon);
-            let lost_parent = evicted
-                .iter()
-                .any(|id| self.best == Some(*id) || self.second == Some(*id));
+            let lost_parent =
+                evicted.iter().any(|id| self.best == Some(*id) || self.second == Some(*id));
             for id in evicted {
                 self.children.remove(&id);
             }
@@ -344,7 +353,9 @@ impl DigsRouting {
             })
             .map(|(id, e)| (id, e.accumulated_cost(), e.rank))
             .collect();
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite costs").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0))
+        });
 
         // Best parent: minimum accumulated ETX, with hysteresis in favor of
         // the incumbent.
@@ -355,10 +366,7 @@ impl DigsRouting {
                 // eligibility bar as the challengers (finite rank/cost,
                 // usable RSS, not a child).
                 let incumbent = old_best.and_then(|b| {
-                    candidates
-                        .iter()
-                        .find(|(id, _, _)| *id == b)
-                        .map(|(_, cost, _)| (b, *cost))
+                    candidates.iter().find(|(id, _, _)| *id == b).map(|(_, cost, _)| (b, *cost))
                 });
                 match incumbent {
                     Some((b, cost))
@@ -528,14 +536,24 @@ mod tests {
         let mut d = device(5);
         // Expensive first route: weak link to a rank-2 node with a costly
         // path (accumulated ETX ≈ 2.9 + 3.0 ≈ 5.9)…
-        d.on_join_in(NodeId(9), &JoinIn { rank: Rank(2), etx_w: 3.0, best_parent: None, second_parent: None }, Dbm(-88.0), Asn(1));
+        d.on_join_in(
+            NodeId(9),
+            &JoinIn { rank: Rank(2), etx_w: 3.0, best_parent: None, second_parent: None },
+            Dbm(-88.0),
+            Asn(1),
+        );
         assert_eq!(d.best_parent(), Some(NodeId(9)));
         assert_eq!(d.rank(), Rank(3));
         // …then, once the voluntary-switch lockout has expired, a strong
         // direct link to a root (accumulated ≈ 1.0) beats the incumbent by
         // far more than the hysteresis margin.
         let after_lockout = Asn(2 + RoutingConfig::fast().switch_lockout);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, after_lockout);
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            STRONG,
+            after_lockout,
+        );
         assert_eq!(d.best_parent(), Some(NodeId(0)));
         assert_eq!(d.rank(), Rank(2));
         // No eligible backup remains: node 9's rank 2 is not strictly
@@ -546,12 +564,22 @@ mod tests {
     #[test]
     fn hysteresis_keeps_incumbent_on_marginal_improvement() {
         let mut d = device(5);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            Dbm(-75.0),
+            Asn(1),
+        );
         let incumbent_cost = d.accumulated_etx(NodeId(0)).expect("known");
         // A challenger 0.1 cheaper: inside the hysteresis band.
         d.on_join_in(
             NodeId(9),
-            &JoinIn { rank: Rank::ROOT, etx_w: incumbent_cost - 1.0 - 0.1, best_parent: None, second_parent: None },
+            &JoinIn {
+                rank: Rank::ROOT,
+                etx_w: incumbent_cost - 1.0 - 0.1,
+                best_parent: None,
+                second_parent: None,
+            },
             STRONG,
             Asn(2),
         );
@@ -562,16 +590,31 @@ mod tests {
     fn same_rank_neighbor_never_becomes_backup() {
         // Paper example: #5 and #6 both rank 2; their mutual link is unused.
         let mut d = device(5);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(1),
+        );
         assert_eq!(d.rank(), Rank(2));
-        d.on_join_in(NodeId(6), &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }, STRONG, Asn(2));
+        d.on_join_in(
+            NodeId(6),
+            &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(2),
+        );
         assert_eq!(d.second_best_parent(), None, "same-rank node is not eligible");
     }
 
     #[test]
     fn child_is_excluded_from_parent_candidacy() {
         let mut d = device(5);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(1),
+        );
         // Node 8 selects us as parent.
         d.on_joined_callback(
             NodeId(8),
@@ -579,7 +622,12 @@ mod tests {
             Asn(2),
         );
         // Node 8 later advertises a tempting cost — but it's our child.
-        d.on_join_in(NodeId(8), &JoinIn { rank: Rank(3), etx_w: 0.1, best_parent: None, second_parent: None }, STRONG, Asn(3));
+        d.on_join_in(
+            NodeId(8),
+            &JoinIn { rank: Rank(3), etx_w: 0.1, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(3),
+        );
         assert_eq!(d.best_parent(), Some(NodeId(0)));
         assert_ne!(d.second_best_parent(), Some(NodeId(8)));
     }
@@ -650,8 +698,18 @@ mod tests {
     #[test]
     fn weighted_etx_matches_equations() {
         let mut d = device(5);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
-        d.on_join_in(NodeId(1), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-80.0), Asn(2));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            Dbm(-75.0),
+            Asn(1),
+        );
+        d.on_join_in(
+            NodeId(1),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            Dbm(-80.0),
+            Asn(2),
+        );
         let etx_bp = d.neighbors().get(NodeId(0)).expect("entry").etx.etx();
         let etx_abp = d.accumulated_etx(NodeId(0)).expect("known");
         let etx_asbp = d.accumulated_etx(NodeId(1)).expect("known");
@@ -667,7 +725,12 @@ mod tests {
     #[test]
     fn weighted_etx_without_backup_equals_primary_cost() {
         let mut d = device(5);
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, Dbm(-75.0), Asn(1));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            Dbm(-75.0),
+            Asn(1),
+        );
         let etx_abp = d.accumulated_etx(NodeId(0)).expect("known");
         assert!((d.etx_w() - etx_abp).abs() < 1e-9);
     }
@@ -677,8 +740,18 @@ mod tests {
         let mut config = RoutingConfig::fast();
         config.use_second_parent = false;
         let mut d = DigsRouting::new(NodeId(5), false, config, 42, Asn(0));
-        d.on_join_in(NodeId(0), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
-        d.on_join_in(NodeId(1), &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None }, STRONG, Asn(2));
+        d.on_join_in(
+            NodeId(0),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(1),
+        );
+        d.on_join_in(
+            NodeId(1),
+            &JoinIn { rank: Rank::ROOT, etx_w: 0.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(2),
+        );
         assert!(d.best_parent().is_some());
         assert_eq!(d.second_best_parent(), None);
     }
@@ -716,7 +789,12 @@ mod tests {
     #[test]
     fn callback_from_parent_resolves_conflict() {
         let mut d = device(5);
-        d.on_join_in(NodeId(7), &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None }, STRONG, Asn(1));
+        d.on_join_in(
+            NodeId(7),
+            &JoinIn { rank: Rank(2), etx_w: 1.0, best_parent: None, second_parent: None },
+            STRONG,
+            Asn(1),
+        );
         assert_eq!(d.best_parent(), Some(NodeId(7)));
         // Node 7 (erroneously, e.g. after its own parent loss) picks us.
         d.on_joined_callback(

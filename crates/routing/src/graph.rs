@@ -121,11 +121,8 @@ impl RoutingGraph {
                 incoming.entry(p).or_default().push(*node);
             }
         }
-        let mut queue: VecDeque<NodeId> = all
-            .iter()
-            .filter(|n| out_degree.get(n).copied().unwrap_or(0) == 0)
-            .copied()
-            .collect();
+        let mut queue: VecDeque<NodeId> =
+            all.iter().filter(|n| out_degree.get(n).copied().unwrap_or(0) == 0).copied().collect();
         let mut removed = 0usize;
         while let Some(n) = queue.pop_front() {
             removed += 1;
@@ -147,8 +144,7 @@ impl RoutingGraph {
     /// rank-2 nodes adjacent only to the APs may legitimately have just
     /// one in sparse corners, so callers decide how strict to be).
     pub fn fraction_with_backup(&self) -> f64 {
-        let joined: Vec<&GraphEntry> =
-            self.entries.values().filter(|e| e.best.is_some()).collect();
+        let joined: Vec<&GraphEntry> = self.entries.values().filter(|e| e.best.is_some()).collect();
         if joined.is_empty() {
             return 0.0;
         }
@@ -185,10 +181,7 @@ impl RoutingGraph {
             .entries
             .iter()
             .flat_map(|(child, e)| {
-                e.best
-                    .into_iter()
-                    .chain(e.second)
-                    .map(move |parent| (parent, *child))
+                e.best.into_iter().chain(e.second).map(move |parent| (parent, *child))
             })
             .collect();
         edges.sort();
@@ -234,11 +227,7 @@ mod tests {
     use super::*;
 
     fn entry(best: Option<u16>, second: Option<u16>, rank: u16) -> GraphEntry {
-        GraphEntry {
-            best: best.map(NodeId),
-            second: second.map(NodeId),
-            rank: Rank(rank),
-        }
+        GraphEntry { best: best.map(NodeId), second: second.map(NodeId), rank: Rank(rank) }
     }
 
     /// The paper's Fig. 6 example: APs 0, 1 (standing in for AP1/AP2);
@@ -314,10 +303,7 @@ mod tests {
             g.primary_downlink_path(NodeId(3)),
             Some(vec![NodeId(1), NodeId(6), NodeId(4), NodeId(3)])
         );
-        assert_eq!(
-            g.primary_downlink_path(NodeId(5)),
-            Some(vec![NodeId(0), NodeId(5)])
-        );
+        assert_eq!(g.primary_downlink_path(NodeId(5)), Some(vec![NodeId(0), NodeId(5)]));
     }
 
     #[test]

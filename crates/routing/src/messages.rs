@@ -1,11 +1,13 @@
 //! Routing-plane wire messages and state-machine outputs.
 
-use digs_sim::ids::NodeId;
 use core::fmt;
+use digs_sim::ids::NodeId;
 
 /// A node's rank: its hop-distance-derived position in the DAG. Access
 /// points have rank 1; a field device's rank is its best parent's rank + 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Rank(pub u16);
 
 impl Rank {
@@ -135,7 +137,7 @@ mod tests {
     fn rank_ordering() {
         assert!(Rank::ROOT < Rank(2));
         assert!(Rank(5) < Rank::INFINITE);
-        assert!(Rank::INFINITE.is_finite() == false);
+        assert!(!Rank::INFINITE.is_finite());
         assert!(Rank::ROOT.is_finite());
     }
 

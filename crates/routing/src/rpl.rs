@@ -41,7 +41,13 @@ pub struct RplRouting {
 impl RplRouting {
     /// Creates the state machine; the root (border router / access point)
     /// starts at rank 1 with path ETX 0.
-    pub fn new(id: NodeId, is_root: bool, config: RoutingConfig, seed: u64, now: Asn) -> RplRouting {
+    pub fn new(
+        id: NodeId,
+        is_root: bool,
+        config: RoutingConfig,
+        seed: u64,
+        now: Asn,
+    ) -> RplRouting {
         RplRouting {
             id,
             is_root,
@@ -124,8 +130,7 @@ impl RplRouting {
         if from == self.id {
             return Vec::new();
         }
-        self.neighbors
-            .record_advertisement(from, dio.rank, dio.path_etx, rss, now);
+        self.neighbors.record_advertisement(from, dio.rank, dio.path_etx, rss, now);
         if self.is_root {
             return Vec::new();
         }
@@ -186,8 +191,9 @@ impl RplRouting {
             })
             .map(|(id, e)| (id, e.accumulated_cost(), e.rank))
             .collect();
-        candidates
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite").then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0))
+        });
 
         // Rank rule: once joined, never select a parent whose rank is not
         // strictly below our own (loop avoidance); a detached node may pick
@@ -205,10 +211,7 @@ impl RplRouting {
                 // Incumbents must pass the same eligibility bar as
                 // challengers (finite rank/cost, usable RSS).
                 let incumbent = old.and_then(|p| {
-                    candidates
-                        .iter()
-                        .find(|(id, _, _)| *id == p)
-                        .map(|(_, cost, _)| (p, *cost))
+                    candidates.iter().find(|(id, _, _)| *id == p).map(|(_, cost, _)| (p, *cost))
                 });
                 match incumbent {
                     Some((p, cost))
@@ -245,7 +248,6 @@ impl RplRouting {
         }
         vec![RoutingEvent::ParentsChanged { best: new, second: None }]
     }
-
 }
 
 #[cfg(test)]
@@ -344,7 +346,12 @@ mod tests {
     fn switches_to_clearly_better_parent() {
         let mut d = device(5);
         // Expensive incumbent: weak link to a deep node (acc ≈ 5.9).
-        d.on_dio(NodeId(7), &Dio { rank: Rank(2), path_etx: 3.0, parent: None }, Dbm(-88.0), Asn(1));
+        d.on_dio(
+            NodeId(7),
+            &Dio { rank: Rank(2), path_etx: 3.0, parent: None },
+            Dbm(-88.0),
+            Asn(1),
+        );
         assert_eq!(d.preferred_parent(), Some(NodeId(7)));
         // A strong direct root link (acc ≈ 1.0) clears the hysteresis bar
         // once the voluntary-switch lockout has expired.

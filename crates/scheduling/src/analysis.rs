@@ -21,11 +21,7 @@
 pub fn contention_probability(t: f64, n: u32, l: u32) -> f64 {
     assert!(t >= 0.0, "traffic load cannot be negative");
     assert!(n > 0, "need at least one node");
-    let exponent = if l >= n {
-        t * f64::from(l) / f64::from(n)
-    } else {
-        t
-    };
+    let exponent = if l >= n { t * f64::from(l) / f64::from(n) } else { t };
     1.0 - (-exponent).exp()
 }
 
@@ -83,9 +79,9 @@ pub fn digs_skip_probabilities(
     let routing = SlotframeOccupancy { length: routing_len, occupied: 1 };
     let _app = SlotframeOccupancy { length: app_len, occupied: app_occupied };
     (
-        skip_probability(&[]),               // sync: highest priority, never skipped
-        skip_probability(&[sync]),           // routing: yields to sync
-        skip_probability(&[sync, routing]),  // app: yields to both
+        skip_probability(&[]),              // sync: highest priority, never skipped
+        skip_probability(&[sync]),          // routing: yields to sync
+        skip_probability(&[sync, routing]), // app: yields to both
     )
 }
 

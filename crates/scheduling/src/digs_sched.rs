@@ -119,10 +119,7 @@ impl DigsScheduler {
     /// Panics if `node` is an access point (they originate no upstream
     /// data) or `p` is out of `1..=attempts`.
     pub fn tx_slot(&self, node: NodeId, p: u8) -> u32 {
-        assert!(
-            node.0 >= self.num_aps,
-            "access points have no application transmission cells"
-        );
+        assert!(node.0 >= self.num_aps, "access points have no application transmission cells");
         assert!((1..=self.attempts).contains(&p), "attempt out of range");
         let device_index = u32::from(node.0 - self.num_aps);
         (u32::from(self.attempts) * device_index + u32::from(p)) % self.lengths.app

@@ -73,18 +73,16 @@ impl OrchestraScheduler {
     ///
     /// Panics if the slotframe lengths are invalid or a receiver-based
     /// unicast slotframe length is 0.
-    pub fn with_mode(id: NodeId, lengths: SlotframeLengths, mode: OrchestraMode) -> OrchestraScheduler {
+    pub fn with_mode(
+        id: NodeId,
+        lengths: SlotframeLengths,
+        mode: OrchestraMode,
+    ) -> OrchestraScheduler {
         lengths.validate().expect("valid slotframe lengths");
         if let OrchestraMode::ReceiverBased { unicast_len } = mode {
             assert!(unicast_len > 0, "unicast slotframe length must be positive");
         }
-        OrchestraScheduler {
-            id,
-            lengths,
-            mode,
-            preferred_parent: None,
-            children: BTreeSet::new(),
-        }
+        OrchestraScheduler { id, lengths, mode, preferred_parent: None, children: BTreeSet::new() }
     }
 
     /// This node's id.
@@ -295,9 +293,7 @@ mod tests {
     fn rbs_owns_one_rx_cell_per_slotframe() {
         let s = rbs(3);
         let rx_cells: Vec<u64> = (0..77u64)
-            .filter(|asn| {
-                matches!(s.cell(Asn(*asn)).map(|c| c.action), Some(CellAction::RxData))
-            })
+            .filter(|asn| matches!(s.cell(Asn(*asn)).map(|c| c.action), Some(CellAction::RxData)))
             .collect();
         assert!(!rx_cells.is_empty());
         assert!(rx_cells.iter().all(|asn| asn % 7 == 3));

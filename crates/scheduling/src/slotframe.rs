@@ -5,15 +5,17 @@
 //! are chosen **mutually coprime** so that every pairwise slot alignment
 //! recurs and no class is starved after priority combination.
 
+use core::fmt;
 use digs_sim::channel::ChannelOffset;
 use digs_sim::ids::NodeId;
 use digs_sim::time::Asn;
-use core::fmt;
 
 /// The three traffic classes, in descending combination priority
 /// (paper Section VI: "The most critical synchronization traffic has the
 /// highest priority, while the application traffic has the lowest").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum TrafficClass {
     /// Time synchronization (Enhanced Beacons). Highest priority.
     Sync,
@@ -164,11 +166,7 @@ pub struct Cell {
 /// Combines per-class candidate cells by priority: sync > routing > app
 /// (paper Section VI, "Schedule Combination"). Returns `None` when every
 /// class is idle this slot (the node sleeps).
-pub fn combine(
-    sync: Option<Cell>,
-    routing: Option<Cell>,
-    app: Option<Cell>,
-) -> Option<Cell> {
+pub fn combine(sync: Option<Cell>, routing: Option<Cell>, app: Option<Cell>) -> Option<Cell> {
     sync.or(routing).or(app)
 }
 
@@ -210,10 +208,7 @@ mod tests {
     #[test]
     fn non_coprime_rejected() {
         let l = SlotframeLengths { sync: 10, routing: 4, app: 7 };
-        assert_eq!(
-            l.validate(),
-            Err(SlotframeError::NotCoprime { a: "sync", b: "routing" })
-        );
+        assert_eq!(l.validate(), Err(SlotframeError::NotCoprime { a: "sync", b: "routing" }));
     }
 
     #[test]

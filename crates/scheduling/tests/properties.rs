@@ -10,12 +10,7 @@ use digs_sim::time::Asn;
 use proptest::prelude::*;
 
 fn any_cell(class: TrafficClass) -> Cell {
-    Cell {
-        class,
-        action: CellAction::TxBeacon,
-        offset: ChannelOffset::new(0),
-        contention: false,
-    }
+    Cell { class, action: CellAction::TxBeacon, offset: ChannelOffset::new(0), contention: false }
 }
 
 proptest! {

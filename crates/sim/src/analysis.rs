@@ -164,10 +164,7 @@ impl TopologyAnalysis {
                 is_ap[start] = true;
             }
         }
-        (0..n)
-            .filter(|i| is_ap[*i])
-            .map(|i| NodeId(i as u16))
-            .collect()
+        (0..n).filter(|i| is_ap[*i]).map(|i| NodeId(i as u16)).collect()
     }
 
     /// The nodes most traffic must pass through: for each node, the number
@@ -203,10 +200,7 @@ impl TopologyAnalysis {
             .filter(|(_, h)| h.is_some())
             .map(|(i, _)| i)
             .collect();
-        (0..self.n)
-            .filter(|i| !connected.contains(i))
-            .map(|i| NodeId(i as u16))
-            .collect()
+        (0..self.n).filter(|i| !connected.contains(i)).map(|i| NodeId(i as u16)).collect()
     }
 }
 
@@ -259,11 +253,7 @@ mod tests {
     fn disconnected_node_detected() {
         let topo = Topology::new(
             "island",
-            vec![
-                Position::new(0.0, 0.0),
-                Position::new(12.0, 0.0),
-                Position::new(500.0, 500.0),
-            ],
+            vec![Position::new(0.0, 0.0), Position::new(12.0, 0.0), Position::new(500.0, 500.0)],
             vec![Role::AccessPoint, Role::FieldDevice, Role::FieldDevice],
         );
         let a = TopologyAnalysis::new(&topo, &RfConfig::deterministic());

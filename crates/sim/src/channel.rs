@@ -11,7 +11,19 @@ pub const FIRST_CHANNEL: u8 = 11;
 
 /// A logical TSCH channel offset (0–15); the physical channel it maps to
 /// changes every slot via the hopping function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct ChannelOffset(pub u8);
 
 impl ChannelOffset {
@@ -34,7 +46,9 @@ impl fmt::Display for ChannelOffset {
 }
 
 /// A physical 802.15.4 channel, stored as an index 0–15 (channel 11–26).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct PhysChannel(pub u8);
 
 impl PhysChannel {
@@ -65,17 +79,12 @@ impl fmt::Display for PhysChannel {
 /// consecutive 802.15.4 channels — this is how the JamLab WiFi emulation is
 /// mapped onto the simulator.
 pub fn wifi_overlap(wifi_channel: u8) -> Vec<PhysChannel> {
-    assert!(
-        (1..=13).contains(&wifi_channel),
-        "WiFi channel must be 1–13, got {wifi_channel}"
-    );
+    assert!((1..=13).contains(&wifi_channel), "WiFi channel must be 1–13, got {wifi_channel}");
     // WiFi channel c is centered at 2412 + 5(c-1) MHz; its occupied OFDM
     // bandwidth meaningfully overlaps 802.15.4 channels whose 2 MHz carriers
     // fall within ±9 MHz of the WiFi center — exactly four of them.
     let center = i64::from(2412 + 5 * (u32::from(wifi_channel) - 1));
-    PhysChannel::all()
-        .filter(|ch| (i64::from(ch.center_freq_mhz()) - center).abs() <= 9)
-        .collect()
+    PhysChannel::all().filter(|ch| (i64::from(ch.center_freq_mhz()) - center).abs() <= 9).collect()
 }
 
 #[cfg(test)]

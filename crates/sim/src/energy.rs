@@ -129,7 +129,7 @@ mod tests {
         let mut m = EnergyMeter::new();
         m.charge_rx(1_000_000);
         m.slots = 100; // 1 s of slots
-        // All time in RX: energy = 56.4 mW × 1 s = 56.4 mJ.
+                       // All time in RX: energy = 56.4 mW × 1 s = 56.4 mJ.
         assert!((m.energy_mj() - RX_POWER_MW).abs() < 1e-9);
         assert!((m.duty_cycle() - 1.0).abs() < 1e-9);
         assert!((m.mean_power_mw() - RX_POWER_MW).abs() < 1e-9);

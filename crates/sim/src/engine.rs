@@ -98,6 +98,19 @@ pub trait NodeStack {
 
     /// Reports the outcome of this slot's transmission, if one was declared.
     fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome);
+
+    /// Cold-restarts the stack: the node just finished a
+    /// [`Reboot`](crate::fault::Reboot) and comes back with factory state —
+    /// no routes, no schedule, no time sync. Invoked by the engine at the
+    /// first slot the node is alive again. The default is a no-op so simple
+    /// test stacks need not care.
+    fn reset(&mut self, _asn: Asn) {}
+
+    /// Notifies the stack that its TSCH clock slipped past the guard time
+    /// (a [`ClockDesync`](crate::fault::ClockDesync) event): the node keeps
+    /// its routing state but must re-acquire slot alignment from enhanced
+    /// beacons. Default no-op.
+    fn desync(&mut self, _asn: Asn) {}
 }
 
 struct CommittedTx<P> {
@@ -117,6 +130,10 @@ pub struct Engine {
     asn: Asn,
     energy: Vec<EnergyMeter>,
     stats: EngineStats,
+    /// Nodes whose reboot downtime has elapsed but whose cold reset has not
+    /// fired yet (an overlapping outage can keep a node down past the end of
+    /// its reboot window; the reset fires at the first slot it is alive).
+    pending_reset: Vec<bool>,
 }
 
 impl Engine {
@@ -135,6 +152,7 @@ impl Engine {
             asn: Asn::ZERO,
             energy: vec![EnergyMeter::new(); n],
             stats: EngineStats::default(),
+            pending_reset: vec![false; n],
         }
     }
 
@@ -167,6 +185,11 @@ impl Engine {
     /// Installs the failure schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = plan;
+    }
+
+    /// The currently installed failure schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Whether a node is alive in the current slot.
@@ -215,13 +238,23 @@ impl Engine {
         let mut listeners: Vec<(NodeId, ChannelOffset)> = Vec::new();
         let mut dedicated: Vec<(NodeId, ChannelOffset, Frame<S::Payload>)> = Vec::new();
         let mut contenders: Vec<(NodeId, ChannelOffset, Frame<S::Payload>)> = Vec::new();
-        for i in 0..n {
+        for (i, stack) in stacks.iter_mut().enumerate() {
             let id = NodeId(i as u16);
+            if self.faults.has_reboots() && self.faults.reboot_completing_at(id, asn) {
+                self.pending_reset[i] = true;
+            }
             if !self.faults.is_alive(id, asn) {
                 continue;
             }
+            if self.pending_reset[i] {
+                self.pending_reset[i] = false;
+                stack.reset(asn);
+            }
+            if self.faults.has_desyncs() && self.faults.desync_at(id, asn) {
+                stack.desync(asn);
+            }
             self.energy[i].tick_slot();
-            match stacks[i].slot_intent(asn) {
+            match stack.slot_intent(asn) {
                 SlotIntent::Sleep => {}
                 SlotIntent::Listen { offset } => listeners.push((id, offset)),
                 SlotIntent::Transmit { offset, frame, contention } => {
@@ -259,14 +292,11 @@ impl Engine {
             // modulation, which 802.15.4 carrier sense does not reliably
             // detect — nodes transmit into the jam and lose frames, as on
             // the paper's testbeds.
-            let busy = committed
-                .iter()
-                .zip(&committed_channels)
-                .any(|(tx, tx_ch)| {
-                    *tx_ch == ch
-                        && tx.node != id
-                        && self.link.static_rss(tx.node, id).dbm() > CCA_THRESHOLD.dbm()
-                });
+            let busy = committed.iter().zip(&committed_channels).any(|(tx, tx_ch)| {
+                *tx_ch == ch
+                    && tx.node != id
+                    && self.link.static_rss(tx.node, id).dbm() > CCA_THRESHOLD.dbm()
+            });
             if busy {
                 deferred.push(id);
                 self.stats.cca_deferrals += 1;
@@ -305,7 +335,7 @@ impl Engine {
                 self.energy[rx_id.index()].charge_rx(IDLE_LISTEN_US);
                 continue;
             }
-            cands.sort_by(|a, b| b.1.dbm().partial_cmp(&a.1.dbm()).expect("finite RSS"));
+            cands.sort_by(|a, b| b.1.dbm().total_cmp(&a.1.dbm()));
             let (best_idx, best_rss) = cands[0];
             let mut interference_mw = total_interference_mw(&self.jammers, &rx_pos, ch, asn, &rf)
                 + rf.noise_floor.to_milliwatts();
@@ -327,9 +357,8 @@ impl Engine {
                     let link_up = !self.faults.has_link_outages()
                         || self.faults.is_link_up(*rx_id, tx_id, asn);
                     let ack_rss = self.link.rss(*rx_id, tx_id, ch, asn);
-                    let ack_inter =
-                        total_interference_mw(&self.jammers, &tx_pos, ch, asn, &rf)
-                            + rf.noise_floor.to_milliwatts();
+                    let ack_inter = total_interference_mw(&self.jammers, &tx_pos, ch, asn, &rf)
+                        + rf.noise_floor.to_milliwatts();
                     let ack_sinr = ack_rss.dbm() - 10.0 * ack_inter.log10();
                     if link_up && self.rng.gen::<f64>() < prr_from_sinr_db(ack_sinr) {
                         acked[best_idx] = true;
@@ -354,9 +383,8 @@ impl Engine {
                     counters.unacked += 1;
                     if let crate::packet::Dest::Unicast(dst) = tx.frame.dst {
                         let ch = committed_channels[k];
-                        let dst_listening = listeners
-                            .iter()
-                            .any(|(id, off)| *id == dst && off.hop(asn) == ch);
+                        let dst_listening =
+                            listeners.iter().any(|(id, off)| *id == dst && off.hop(asn) == ch);
                         if !dst_listening && tx.frame.kind == crate::packet::FrameKind::Data {
                             self.stats.unacked_no_listener += 1;
                         }
@@ -405,6 +433,8 @@ mod tests {
         plan: std::collections::HashMap<u64, SlotIntent<u32>>,
         received: Vec<(u64, u32, f64)>,
         outcomes: Vec<(u64, TxOutcome)>,
+        resets: Vec<u64>,
+        desyncs: Vec<u64>,
     }
 
     impl NodeStack for TestStack {
@@ -420,6 +450,14 @@ mod tests {
 
         fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {
             self.outcomes.push((asn.0, outcome));
+        }
+
+        fn reset(&mut self, asn: Asn) {
+            self.resets.push(asn.0);
+        }
+
+        fn desync(&mut self, asn: Asn) {
+            self.desyncs.push(asn.0);
         }
     }
 
@@ -449,10 +487,7 @@ mod tests {
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-        stacks[0].plan.insert(
-            0,
-            SlotIntent::Listen { offset: ChannelOffset::new(0) },
-        );
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         assert_eq!(stacks[0].received.len(), 1);
         assert_eq!(stacks[0].received[0].1, 42);
@@ -477,9 +512,7 @@ mod tests {
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, None, 9, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         assert_eq!(stacks[0].received.len(), 1);
         assert_eq!(stacks[1].outcomes, vec![(0, TxOutcome::SentBroadcast)]);
@@ -491,9 +524,7 @@ mod tests {
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         assert!(stacks[0].received.is_empty());
         assert_eq!(stacks[1].outcomes, vec![(0, TxOutcome::NoAck)]);
@@ -505,9 +536,7 @@ mod tests {
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(3) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(3) });
         engine.step(&mut stacks);
         assert!(stacks[0].received.is_empty());
     }
@@ -521,9 +550,7 @@ mod tests {
         );
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         assert!(stacks[0].received.is_empty());
         assert!(stacks[1].outcomes.is_empty());
@@ -538,23 +565,16 @@ mod tests {
         // very unlikely.
         let topo = Topology::new(
             "triple",
-            vec![
-                Position::new(0.0, 0.0),
-                Position::new(-6.0, 0.0),
-                Position::new(6.0, 0.0),
-            ],
+            vec![Position::new(0.0, 0.0), Position::new(-6.0, 0.0), Position::new(6.0, 0.0)],
             vec![Role::AccessPoint, Role::FieldDevice, Role::FieldDevice],
         );
         let mut delivered = 0;
         for seed in 0..30 {
             let mut engine = Engine::new(topo.clone(), RfConfig::deterministic(), seed);
-            let mut stacks =
-                vec![TestStack::default(), TestStack::default(), TestStack::default()];
+            let mut stacks = vec![TestStack::default(), TestStack::default(), TestStack::default()];
             stacks[1].plan.insert(0, tx_intent(1, Some(0), 1, false));
             stacks[2].plan.insert(0, tx_intent(2, Some(0), 2, false));
-            stacks[0]
-                .plan
-                .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+            stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
             engine.step(&mut stacks);
             delivered += stacks[0].received.len();
         }
@@ -566,21 +586,14 @@ mod tests {
         // Two contenders in carrier-sense range: exactly one transmits.
         let topo = Topology::new(
             "triple",
-            vec![
-                Position::new(0.0, 0.0),
-                Position::new(5.0, 0.0),
-                Position::new(7.0, 0.0),
-            ],
+            vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0), Position::new(7.0, 0.0)],
             vec![Role::AccessPoint, Role::FieldDevice, Role::FieldDevice],
         );
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 3);
-        let mut stacks =
-            vec![TestStack::default(), TestStack::default(), TestStack::default()];
+        let mut stacks = vec![TestStack::default(), TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 1, true));
         stacks[2].plan.insert(0, tx_intent(2, Some(0), 2, true));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         let deferrals = [&stacks[1], &stacks[2]]
             .iter()
@@ -608,9 +621,7 @@ mod tests {
             let mut stacks = vec![TestStack::default(), TestStack::default()];
             // Offset 0 at ASN 0 → physical channel 0 (IEEE 11), jammed by WiFi ch.1.
             stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-            stacks[0]
-                .plan
-                .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+            stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
             engine.step(&mut stacks);
             attempts += 1;
             delivered += stacks[0].received.len();
@@ -627,9 +638,7 @@ mod tests {
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         let tx_meter = engine.energy(NodeId(1));
         let rx_meter = engine.energy(NodeId(0));
@@ -644,48 +653,91 @@ mod tests {
         let topo = two_node_topology(5.0);
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
         let mut stacks = vec![TestStack::default(), TestStack::default()];
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         let idle_rx = engine.energy(NodeId(0)).rx_us;
         assert_eq!(idle_rx, u64::from(IDLE_LISTEN_US));
     }
-
 
     #[test]
     fn link_outage_blocks_frames_but_not_other_links() {
         use crate::fault::LinkOutage;
         let topo = Topology::new(
             "triple",
-            vec![
-                Position::new(0.0, 0.0),
-                Position::new(5.0, 0.0),
-                Position::new(-5.0, 0.0),
-            ],
+            vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0), Position::new(-5.0, 0.0)],
             vec![Role::AccessPoint, Role::FieldDevice, Role::FieldDevice],
         );
         let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
-        engine.set_fault_plan(
-            FaultPlan::none().with_link(LinkOutage::permanent(NodeId(1), NodeId(0), Asn(0))),
-        );
-        let mut stacks =
-            vec![TestStack::default(), TestStack::default(), TestStack::default()];
+        engine.set_fault_plan(FaultPlan::none().with_link(LinkOutage::permanent(
+            NodeId(1),
+            NodeId(0),
+            Asn(0),
+        )));
+        let mut stacks = vec![TestStack::default(), TestStack::default(), TestStack::default()];
         // Node 1 → AP over the broken link fails; node 2 → AP still works.
         stacks[1].plan.insert(0, tx_intent(1, Some(0), 11, false));
         stacks[2].plan.insert(1, tx_intent(2, Some(0), 22, false));
-        stacks[0]
-            .plan
-            .insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
-        stacks[0]
-            .plan
-            .insert(1, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        stacks[0].plan.insert(1, SlotIntent::Listen { offset: ChannelOffset::new(0) });
         engine.step(&mut stacks);
         engine.step(&mut stacks);
         assert_eq!(stacks[1].outcomes, vec![(0, TxOutcome::NoAck)]);
         assert_eq!(stacks[2].outcomes, vec![(1, TxOutcome::Acked)]);
         assert_eq!(stacks[0].received.len(), 1);
         assert_eq!(stacks[0].received[0].1, 22);
+    }
+
+    #[test]
+    fn reboot_is_dead_during_window_and_resets_on_return() {
+        use crate::fault::Reboot;
+        let topo = two_node_topology(5.0);
+        let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+        engine.set_fault_plan(FaultPlan::none().with_reboot(Reboot::new(
+            NodeId(1),
+            Asn(1),
+            Asn(3),
+        )));
+        let mut stacks = vec![TestStack::default(), TestStack::default()];
+        for asn in [1u64, 2] {
+            stacks[1].plan.insert(asn, tx_intent(1, Some(0), 42, false));
+        }
+        engine.run(&mut stacks, 5);
+        // Intents during the downtime were never consumed, and the reset
+        // fired exactly once, at the first slot back up.
+        assert!(stacks[1].plan.contains_key(&1));
+        assert!(stacks[1].plan.contains_key(&2));
+        assert_eq!(stacks[1].resets, vec![3]);
+        assert!(stacks[0].resets.is_empty());
+    }
+
+    #[test]
+    fn reset_waits_for_overlapping_outage_to_clear() {
+        use crate::fault::{Outage, Reboot};
+        let topo = two_node_topology(5.0);
+        let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+        // The reboot ends at slot 3, but a longer outage keeps the node
+        // down until slot 6: the cold reset must fire at 6, not 3.
+        engine.set_fault_plan(
+            FaultPlan::none()
+                .with_reboot(Reboot::new(NodeId(1), Asn(1), Asn(3)))
+                .with(Outage::transient(NodeId(1), Asn(2), Asn(6))),
+        );
+        let mut stacks = vec![TestStack::default(), TestStack::default()];
+        engine.run(&mut stacks, 8);
+        assert_eq!(stacks[1].resets, vec![6]);
+    }
+
+    #[test]
+    fn desync_hook_fires_at_the_scheduled_slot() {
+        use crate::fault::ClockDesync;
+        let topo = two_node_topology(5.0);
+        let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+        engine.set_fault_plan(FaultPlan::none().with_desync(ClockDesync::new(NodeId(0), Asn(4))));
+        let mut stacks = vec![TestStack::default(), TestStack::default()];
+        engine.run(&mut stacks, 6);
+        assert_eq!(stacks[0].desyncs, vec![4]);
+        assert!(stacks[1].desyncs.is_empty());
+        assert!(stacks[0].resets.is_empty());
     }
 
     #[test]
@@ -701,8 +753,7 @@ mod tests {
                     if asn as usize % n == i {
                         s.plan.insert(asn, tx_intent(i as u16, None, asn as u32, true));
                     } else {
-                        s.plan
-                            .insert(asn, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+                        s.plan.insert(asn, SlotIntent::Listen { offset: ChannelOffset::new(0) });
                     }
                 }
             }

@@ -1,8 +1,8 @@
 //! The link model: per-link received signal strength with frozen shadowing,
 //! per-channel frequency-selective fading, and per-slot fast fading.
 
-use crate::ids::NodeId;
 use crate::channel::PhysChannel;
+use crate::ids::NodeId;
 use crate::rf::{Dbm, RfConfig};
 use crate::rng;
 use crate::time::Asn;

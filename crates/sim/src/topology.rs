@@ -46,10 +46,7 @@ impl Topology {
     pub fn new(name: impl Into<String>, positions: Vec<Position>, roles: Vec<Role>) -> Topology {
         assert_eq!(positions.len(), roles.len(), "positions/roles length mismatch");
         assert!(positions.len() <= usize::from(u16::MAX), "too many nodes");
-        assert!(
-            roles.iter().any(|r| *r == Role::AccessPoint),
-            "topology needs at least one access point"
-        );
+        assert!(roles.contains(&Role::AccessPoint), "topology needs at least one access point");
         Topology { name: name.into(), positions, roles }
     }
 
@@ -137,10 +134,8 @@ impl Topology {
     /// area, with the access points near the center-west and center-east.
     pub fn random_area(n: usize, side: f64, seed: u64) -> Topology {
         assert!(n >= 1, "need at least one field device");
-        let mut positions = vec![
-            Position::new(side * 0.25, side * 0.5),
-            Position::new(side * 0.75, side * 0.5),
-        ];
+        let mut positions =
+            vec![Position::new(side * 0.25, side * 0.5), Position::new(side * 0.75, side * 0.5)];
         let mut roles = vec![Role::AccessPoint, Role::AccessPoint];
         for i in 0..n {
             let x = rng::uniform01(seed, i as u64, 1, 0) * side;
@@ -193,10 +188,8 @@ impl Topology {
     /// traffic must cross the floor boundary.
     fn two_floor_building(name: &str, total: usize, width: f64, depth: f64, salt: u64) -> Topology {
         assert!(total >= 4, "need 2 APs + devices on both floors");
-        let mut positions = vec![
-            Position::new(width * 0.1, depth * 0.5),
-            Position::new(width * 0.9, depth * 0.5),
-        ];
+        let mut positions =
+            vec![Position::new(width * 0.1, depth * 0.5), Position::new(width * 0.9, depth * 0.5)];
         let mut roles = vec![Role::AccessPoint, Role::AccessPoint];
         let devices = total - 2;
         let lower = devices / 2;
@@ -238,10 +231,7 @@ mod tests {
     fn testbed_b_spans_two_floors() {
         let t = Topology::testbed_b();
         assert_eq!(t.len(), 44);
-        let upper = t
-            .node_ids()
-            .filter(|id| t.position(*id).z > 1.0)
-            .count();
+        let upper = t.node_ids().filter(|id| t.position(*id).z > 1.0).count();
         let lower = t.len() - upper;
         assert!(upper >= 15, "expected a populated upper floor, got {upper}");
         assert!(lower >= 15, "expected a populated lower floor, got {lower}");
@@ -287,11 +277,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one access point")]
     fn topology_requires_access_point() {
-        let _ = Topology::new(
-            "bad",
-            vec![Position::new(0.0, 0.0)],
-            vec![Role::FieldDevice],
-        );
+        let _ = Topology::new("bad", vec![Position::new(0.0, 0.0)], vec![Role::FieldDevice]);
     }
 
     #[test]

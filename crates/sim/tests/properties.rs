@@ -126,6 +126,72 @@ proptest! {
         prop_assert!(plan.is_alive(NodeId(4), Asn(probe)));
     }
 
+    /// Overlapping outages compose: the node is dead on the *union* of the
+    /// windows, regardless of how they interleave, and `alive_throughout`
+    /// agrees with slot-by-slot `is_alive` over any probe range.
+    #[test]
+    fn overlapping_outages_compose(
+        from1 in 0u64..2_000,
+        len1 in 1u64..2_000,
+        from2 in 0u64..2_000,
+        len2 in 1u64..2_000,
+        probe in 0u64..5_000,
+        span in 0u64..200
+    ) {
+        let plan = FaultPlan::none()
+            .with(Outage::transient(NodeId(3), Asn(from1), Asn(from1 + len1)))
+            .with(Outage::transient(NodeId(3), Asn(from2), Asn(from2 + len2)));
+        let in_union = (probe >= from1 && probe < from1 + len1)
+            || (probe >= from2 && probe < from2 + len2);
+        prop_assert_eq!(plan.is_alive(NodeId(3), Asn(probe)), !in_union);
+
+        let all_alive = (probe..=probe + span).all(|t| plan.is_alive(NodeId(3), Asn(t)));
+        prop_assert_eq!(
+            plan.alive_throughout(NodeId(3), Asn(probe), Asn(probe + span)),
+            all_alive
+        );
+    }
+
+    /// `covers` boundary semantics are half-open for outages and reboots
+    /// alike: the first dead slot is `from`, the first live slot back is
+    /// `until`.
+    #[test]
+    fn covers_boundaries_are_half_open(from in 1u64..10_000, len in 1u64..10_000) {
+        let outage = Outage::transient(NodeId(1), Asn(from), Asn(from + len));
+        prop_assert!(!outage.covers(Asn(from - 1)));
+        prop_assert!(outage.covers(Asn(from)));
+        prop_assert!(outage.covers(Asn(from + len - 1)));
+        prop_assert!(!outage.covers(Asn(from + len)));
+
+        let reboot = digs_sim::fault::Reboot::new(NodeId(1), Asn(from), Asn(from + len));
+        prop_assert!(!reboot.covers(Asn(from - 1)));
+        prop_assert!(reboot.covers(Asn(from)));
+        prop_assert!(reboot.covers(Asn(from + len - 1)));
+        prop_assert!(!reboot.covers(Asn(from + len)));
+
+        let permanent = Outage::permanent(NodeId(1), Asn(from));
+        prop_assert!(!permanent.covers(Asn(from - 1)));
+        prop_assert!(permanent.covers(Asn(from + 1_000_000)));
+    }
+
+    /// Chaos plans are a pure function of (config, topology, seed): the
+    /// same seed reproduces the identical plan, and every generated event
+    /// starts inside the configured chaos window.
+    #[test]
+    fn chaos_generation_is_seed_deterministic(seed in any::<u64>(), start in 0u64..50_000, dur in 60u64..600) {
+        use digs_sim::fault::{ChaosConfig, ChaosPlan};
+        let topo = Topology::testbed_a_half();
+        let config = ChaosConfig::moderate(Asn(start), dur);
+        let a = ChaosPlan::generate(&config, &topo, seed);
+        let b = ChaosPlan::generate(&config, &topo, seed);
+        prop_assert_eq!(&a, &b);
+        let window_end = start + dur * 100;
+        for event in a.events() {
+            prop_assert!(event.from.0 >= start && event.from.0 < window_end,
+                "event start {} outside chaos window [{start}, {window_end})", event.from.0);
+        }
+    }
+
     /// Jammer interference is deterministic and decays with distance.
     #[test]
     fn jammer_interference_decays(d1 in 1.0f64..50.0, d2 in 1.0f64..50.0, asn in 0u64..10_000) {

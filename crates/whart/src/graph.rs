@@ -35,21 +35,14 @@ pub fn build_uplink_graph(db: &LinkDb, roots: &[NodeId]) -> RoutingGraph {
     }
 
     // 2. Order devices by (hop, id); accumulate path cost as we commit.
-    let mut order: Vec<NodeId> = hops
-        .keys()
-        .copied()
-        .filter(|n| !roots.contains(n))
-        .collect();
+    let mut order: Vec<NodeId> = hops.keys().copied().filter(|n| !roots.contains(n)).collect();
     order.sort_by_key(|n| (hops[n], *n));
 
     let mut graph = RoutingGraph::new(roots.iter().copied());
     // Accumulated best-path cost, used for parent ranking.
     let mut path_cost: BTreeMap<NodeId, f64> = roots.iter().map(|r| (*r, 0.0)).collect();
-    let mut committed: BTreeMap<NodeId, usize> = roots
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (*r, i))
-        .collect();
+    let mut committed: BTreeMap<NodeId, usize> =
+        roots.iter().enumerate().map(|(i, r)| (*r, i)).collect();
 
     for (idx, node) in order.iter().enumerate() {
         let my_hop = hops[node];

@@ -91,7 +91,7 @@ impl LinkDb {
                 }
             })
             .collect();
-        out.sort_by(|x, y| x.0.cmp(&y.0));
+        out.sort_by_key(|x| x.0);
         out
     }
 

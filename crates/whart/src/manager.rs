@@ -20,9 +20,9 @@
 use crate::graph::build_uplink_graph;
 use crate::linkdb::LinkDb;
 use crate::schedule::{CentralSchedule, ScheduleError};
+use core::fmt;
 use digs_routing::graph::RoutingGraph;
 use digs_sim::ids::NodeId;
-use core::fmt;
 
 /// Cost-model parameters for a manager update cycle.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -213,9 +213,7 @@ impl NetworkManager {
 
     /// Hop depth of a device in the current graph (rank − 1; roots are 0).
     fn depth(&self, node: NodeId) -> u32 {
-        self.graph
-            .entry(node)
-            .map_or(0, |e| u32::from(e.rank.0.saturating_sub(1)))
+        self.graph.entry(node).map_or(0, |e| u32::from(e.rank.0.saturating_sub(1)))
     }
 }
 
@@ -240,14 +238,9 @@ mod tests {
     fn update_takes_minutes_at_testbed_scale() {
         let topo = Topology::testbed_a();
         let mut m = manager_for(&topo);
-        let report = m
-            .full_update(&default_sources(&topo, 8), 500)
-            .expect("schedulable");
+        let report = m.full_update(&default_sources(&topo, 8), 500).expect("schedulable");
         let t = report.total_secs();
-        assert!(
-            (100.0..1200.0).contains(&t),
-            "expected minutes-scale update, got {t:.1}s"
-        );
+        assert!((100.0..1200.0).contains(&t), "expected minutes-scale update, got {t:.1}s");
         assert!(report.compute_secs < 1.0, "compute is not the bottleneck");
         assert_eq!(m.updates_performed(), 1);
     }
@@ -258,14 +251,8 @@ mod tests {
         let full = Topology::testbed_a();
         let mut mh = manager_for(&half);
         let mut mf = manager_for(&full);
-        let th = mh
-            .full_update(&default_sources(&half, 8), 500)
-            .expect("ok")
-            .total_secs();
-        let tf = mf
-            .full_update(&default_sources(&full, 8), 500)
-            .expect("ok")
-            .total_secs();
+        let th = mh.full_update(&default_sources(&half, 8), 500).expect("ok").total_secs();
+        let tf = mf.full_update(&default_sources(&full, 8), 500).expect("ok").total_secs();
         assert!(tf > th * 1.5, "full ({tf:.0}s) should dwarf half ({th:.0}s)");
     }
 
@@ -276,11 +263,7 @@ mod tests {
         let sources = default_sources(&topo, 8);
         m.full_update(&sources, 500).expect("ok");
         // Fail a relay that is not one of the sources.
-        let victim = m
-            .graph()
-            .nodes()
-            .find(|n| !sources.contains(n))
-            .expect("some relay");
+        let victim = m.graph().nodes().find(|n| !sources.contains(n)).expect("some relay");
         let report = m.on_node_failure(victim, &sources, 500).expect("ok");
         assert!(report.total_secs() > 60.0);
         assert_eq!(m.updates_performed(), 2);

@@ -8,11 +8,11 @@
 //! never scheduled twice in a slot and a `(slot, offset)` pair is never
 //! reused.
 
+use core::fmt;
 use digs_routing::graph::RoutingGraph;
 use digs_sim::channel::{ChannelOffset, NUM_CHANNELS};
 use digs_sim::ids::{FlowId, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
-use core::fmt;
 
 /// One dedicated cell in the central schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -111,15 +111,9 @@ impl CentralSchedule {
                     hop_targets.push((second, 3));
                 }
                 for (target, attempt) in hop_targets {
-                    let slot = Self::allocate(
-                        length,
-                        prev_slot,
-                        node,
-                        target,
-                        &mut busy,
-                        &mut used,
-                    )
-                    .ok_or(ScheduleError::SuperframeFull { flow })?;
+                    let slot =
+                        Self::allocate(length, prev_slot, node, target, &mut busy, &mut used)
+                            .ok_or(ScheduleError::SuperframeFull { flow })?;
                     let offset = Self::free_offset(slot, &used).expect("checked in allocate");
                     used.insert((slot, offset.0));
                     busy.entry(slot).or_default().extend([node, target]);
@@ -171,9 +165,8 @@ impl CentralSchedule {
             for hop in path.windows(2) {
                 let (tx, rx) = (hop[0], hop[1]);
                 for attempt in 1..=2u8 {
-                    let slot =
-                        Self::allocate(length, prev_slot, tx, rx, &mut busy, &mut used)
-                            .ok_or(ScheduleError::SuperframeFull { flow })?;
+                    let slot = Self::allocate(length, prev_slot, tx, rx, &mut busy, &mut used)
+                        .ok_or(ScheduleError::SuperframeFull { flow })?;
                     let offset = Self::free_offset(slot, &used).expect("checked in allocate");
                     used.insert((slot, offset.0));
                     busy.entry(slot).or_default().extend([tx, rx]);
@@ -198,17 +191,14 @@ impl CentralSchedule {
     ) -> Option<u32> {
         let start = prev_slot.map_or(0, |s| s + 1);
         (start..length).find(|slot| {
-            let nodes_free = busy
-                .get(slot)
-                .is_none_or(|set| !set.contains(&a) && !set.contains(&b));
+            let nodes_free =
+                busy.get(slot).is_none_or(|set| !set.contains(&a) && !set.contains(&b));
             nodes_free && Self::free_offset(*slot, used).is_some()
         })
     }
 
     fn free_offset(slot: u32, used: &BTreeSet<(u32, u8)>) -> Option<ChannelOffset> {
-        (0..NUM_CHANNELS)
-            .find(|off| !used.contains(&(slot, *off)))
-            .map(ChannelOffset)
+        (0..NUM_CHANNELS).find(|off| !used.contains(&(slot, *off))).map(ChannelOffset)
     }
 
     /// Superframe length in slots.
@@ -224,10 +214,7 @@ impl CentralSchedule {
     /// Cells involving a node (as transmitter or receiver) — the portion of
     /// the schedule the manager must disseminate to that device.
     pub fn cells_of(&self, node: NodeId) -> Vec<&CentralCell> {
-        self.cells
-            .iter()
-            .filter(|c| c.tx == node || c.rx == node)
-            .collect()
+        self.cells.iter().filter(|c| c.tx == node || c.rx == node).collect()
     }
 
     /// Validates conflict-freedom (used in tests and debug assertions).
@@ -248,11 +235,7 @@ impl CentralSchedule {
     /// End-to-end latency bound of a flow within the superframe: the last
     /// primary-attempt slot of the flow, in slots.
     pub fn flow_span(&self, flow: FlowId) -> Option<u32> {
-        self.cells
-            .iter()
-            .filter(|c| c.flow == flow && c.attempt <= 2)
-            .map(|c| c.slot)
-            .max()
+        self.cells.iter().filter(|c| c.flow == flow && c.attempt <= 2).map(|c| c.slot).max()
     }
 }
 
@@ -265,9 +248,18 @@ mod tests {
     /// AP 0, AP 1; chain 2→0, 3→2 (backup 0), 4→3 (backup 2).
     fn graph() -> RoutingGraph {
         let mut g = RoutingGraph::new([NodeId(0), NodeId(1)]);
-        g.insert(NodeId(2), GraphEntry { best: Some(NodeId(0)), second: Some(NodeId(1)), rank: Rank(2) });
-        g.insert(NodeId(3), GraphEntry { best: Some(NodeId(2)), second: Some(NodeId(0)), rank: Rank(3) });
-        g.insert(NodeId(4), GraphEntry { best: Some(NodeId(3)), second: Some(NodeId(2)), rank: Rank(4) });
+        g.insert(
+            NodeId(2),
+            GraphEntry { best: Some(NodeId(0)), second: Some(NodeId(1)), rank: Rank(2) },
+        );
+        g.insert(
+            NodeId(3),
+            GraphEntry { best: Some(NodeId(2)), second: Some(NodeId(0)), rank: Rank(3) },
+        );
+        g.insert(
+            NodeId(4),
+            GraphEntry { best: Some(NodeId(3)), second: Some(NodeId(2)), rank: Rank(4) },
+        );
         g
     }
 
@@ -278,12 +270,8 @@ mod tests {
         // 3 hops × 3 attempts = 9 cells.
         assert_eq!(s.cells().len(), 9);
         // Slots strictly increase along the primary path.
-        let primary: Vec<u32> = s
-            .cells()
-            .iter()
-            .filter(|c| c.attempt == 1)
-            .map(|c| c.slot)
-            .collect();
+        let primary: Vec<u32> =
+            s.cells().iter().filter(|c| c.attempt == 1).map(|c| c.slot).collect();
         assert!(primary.windows(2).all(|w| w[1] > w[0]));
     }
 
@@ -322,7 +310,6 @@ mod tests {
         assert!(of3.iter().any(|c| c.tx == NodeId(3)));
         assert!(of3.iter().any(|c| c.rx == NodeId(3)));
     }
-
 
     #[test]
     fn downlink_schedules_along_reversed_path() {

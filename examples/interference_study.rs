@@ -20,22 +20,13 @@ fn main() {
         println!("── {} ──", protocol.name());
         println!("  flow-set PDR      : {:.3}", results.network_pdr());
         println!("  worst flow PDR    : {:.3}", results.worst_flow_pdr());
-        println!(
-            "  median latency    : {:.0} ms",
-            results.median_latency_ms().unwrap_or(f64::NAN)
-        );
-        println!(
-            "  power per packet  : {:.4} mW",
-            results.power_per_received_packet_mw()
-        );
+        println!("  median latency    : {:.0} ms", results.median_latency_ms().unwrap_or(f64::NAN));
+        println!("  power per packet  : {:.4} mW", results.power_per_received_packet_mw());
         let repair = results
             .repair_time_secs(Asn::from_secs(scenarios::JAM_START_SECS), 1000)
             .map_or("none needed".to_string(), |t| format!("{t:.1} s"));
         println!("  repair after jam  : {repair}");
-        println!(
-            "  parent changes    : {}",
-            results.parent_change_times.len()
-        );
+        println!("  parent changes    : {}", results.parent_change_times.len());
         println!();
     }
     println!("expected shape (paper Fig. 9): DiGS delivers a higher PDR with");

@@ -50,10 +50,7 @@ fn main() {
     // and reliable (the paper's RSS→ETX mapping caps weak links at ETX 3,
     // which makes long marginal links look cheaper than they are — short
     // hops avoid that trap and save energy).
-    let rf = RfConfig {
-        tx_power: digs_sim::rf::Dbm(-10.0),
-        ..RfConfig::open_area()
-    };
+    let rf = RfConfig { tx_power: digs_sim::rf::Dbm(-10.0), ..RfConfig::open_area() };
 
     // Pre-flight: is the deployment even connected at this power, and how
     // deep is it? Which devices are single points of failure?
@@ -74,12 +71,7 @@ fn main() {
     // clusters need A·devices distinct Eq. 4 cells, so size the
     // application slotframe accordingly (149 is prime: 45 devices × 3
     // attempts = 135 cells fit).
-    let far_sources: Vec<NodeId> = topology
-        .field_devices()
-        .into_iter()
-        .rev()
-        .take(6)
-        .collect();
+    let far_sources: Vec<NodeId> = topology.field_devices().into_iter().rev().take(6).collect();
     let mut flows = digs::flows::flow_set_from_sources(&far_sources, 500);
     for f in &mut flows {
         f.phase += 6000;
@@ -101,19 +93,13 @@ fn main() {
     println!("  joined          : {:.0}%", results.fraction_joined() * 100.0);
     println!("  backup coverage : {:.0}%", graph.fraction_with_backup() * 100.0);
     println!("  network PDR     : {:.3}", results.network_pdr());
-    println!(
-        "  median latency  : {:.0} ms",
-        results.median_latency_ms().unwrap_or(f64::NAN)
-    );
+    println!("  median latency  : {:.0} ms", results.median_latency_ms().unwrap_or(f64::NAN));
     println!(
         "  drops           : {} retry-exhausted, {} queue-overflow",
         results.retry_drops, results.queue_drops
     );
     for flow in &results.flows {
         let hops = analysis.hops_to_ap(flow.source).unwrap_or(0);
-        println!(
-            "  {} from {} ({} hops): PDR {:.2}",
-            flow.flow, flow.source, hops, flow.pdr()
-        );
+        println!("  {} from {} ({} hops): PDR {:.2}", flow.flow, flow.source, hops, flow.pdr());
     }
 }

@@ -40,18 +40,15 @@ fn main() {
     let results = network.results();
     println!();
     println!("network PDR     : {:.3}", results.network_pdr());
-    println!(
-        "median latency  : {:.0} ms",
-        results.median_latency_ms().unwrap_or(f64::NAN)
-    );
-    println!(
-        "power/packet    : {:.4} mW",
-        results.power_per_received_packet_mw()
-    );
+    println!("median latency  : {:.0} ms", results.median_latency_ms().unwrap_or(f64::NAN));
+    println!("power/packet    : {:.4} mW", results.power_per_received_packet_mw());
     for flow in &results.flows {
         println!(
             "  {} from {}: {}/{} delivered (PDR {:.2})",
-            flow.flow, flow.source, flow.delivered, flow.generated,
+            flow.flow,
+            flow.source,
+            flow.delivered,
+            flow.generated,
             flow.pdr()
         );
     }

@@ -44,9 +44,8 @@ fn deliver(nodes: &mut [DigsRouting], from: usize, to: usize, rss_dbm: f64, asn:
 fn main() {
     // Ids: 0 = AP1, 1 = AP2, then devices #3, #4, #5, #6 as in the figure.
     let config = RoutingConfig::default();
-    let mut nodes: Vec<DigsRouting> = (0..6u16)
-        .map(|i| DigsRouting::new(NodeId(i), i < 2, config, 7, Asn::ZERO))
-        .collect();
+    let mut nodes: Vec<DigsRouting> =
+        (0..6u16).map(|i| DigsRouting::new(NodeId(i), i < 2, config, 7, Asn::ZERO)).collect();
     let (ap1, ap2, n3, n4, n5, n6) = (0usize, 1, 2, 3, 4, 5);
 
     println!("Fig. 6: distributed route generation");

@@ -36,9 +36,8 @@ fn main() {
 
     // Graph routes of Fig. 7(a): primary #3→#1 and #4→#2; backups #3⇢#2
     // and #4⇢#1.
-    let mut schedulers: Vec<DigsScheduler> = (0..4u16)
-        .map(|i| DigsScheduler::new(NodeId(i), 2, lengths, 3))
-        .collect();
+    let mut schedulers: Vec<DigsScheduler> =
+        (0..4u16).map(|i| DigsScheduler::new(NodeId(i), 2, lengths, 3)).collect();
     schedulers[2].set_parents(Some(NodeId(0)), Some(NodeId(1)));
     schedulers[3].set_parents(Some(NodeId(1)), Some(NodeId(0)));
     // Parents learn their children (in the full stack this happens via

@@ -101,6 +101,108 @@ fn disturbers_toggle_in_large_scale_scenario() {
 }
 
 #[test]
+fn rebooted_digs_relay_cold_starts_and_rejoins() {
+    use digs::config::NetworkConfig;
+    use digs::flows::flow_set_from_sources;
+    use digs::stack::ProtocolStack;
+    use digs_sim::fault::{FaultPlan, Reboot};
+    use digs_sim::ids::NodeId;
+    use digs_sim::topology::Topology;
+
+    // Form first, then cold-reboot a genuine relay on the flow's live
+    // forwarding path: the node must come back with factory-fresh state,
+    // re-execute the join (EB scan → rank → parents), re-register with a
+    // parent, and the flow must deliver again once it has.
+    let topology = Topology::testbed_a();
+    let source = NodeId(40);
+    let mut flows = flow_set_from_sources(&[source], 500);
+    flows[0].phase += 6000;
+    let config = NetworkConfig::builder(topology.clone())
+        .protocol(Protocol::Digs)
+        .seed(21)
+        .flows(flows)
+        .build();
+    let mut network = Network::new(config);
+    network.run_secs(120);
+
+    // Walk the source's primary-parent chain for a field-device relay.
+    let mut relay = None;
+    let mut node = source;
+    for _hop in 0..10 {
+        let (best, _) = network.stacks()[node.index()].parents();
+        let Some(next) = best else { break };
+        if topology.is_access_point(next) {
+            break;
+        }
+        relay = Some(next);
+        node = next;
+    }
+    let relay = relay.unwrap_or(source); // worst case: reboot the source itself
+    {
+        let ProtocolStack::Digs(s) = &network.stacks()[relay.index()] else {
+            unreachable!("the run is configured for DiGS");
+        };
+        assert!(s.is_joined(), "the relay must be part of the formed network");
+    }
+
+    network.set_fault_plan(FaultPlan::none().with_reboot(Reboot::new(
+        relay,
+        Asn::from_secs(125),
+        Asn::from_secs(135),
+    )));
+    // Just past the reboot's completion, the cold reset has fired: no
+    // sync, no rank, no parents, no children — the join starts over.
+    network.run_secs(16);
+    {
+        let ProtocolStack::Digs(s) = &network.stacks()[relay.index()] else {
+            unreachable!();
+        };
+        assert!(!s.is_joined(), "a rebooted node must come back cold");
+        assert_eq!(s.parents(), (None, None), "parents are factory-fresh");
+        assert!(s.children_last_seen().is_empty(), "child table is factory-fresh");
+    }
+
+    // Given time, the reboot's join re-executes end to end.
+    network.run_secs(224);
+    let new_parent = {
+        let ProtocolStack::Digs(s) = &network.stacks()[relay.index()] else {
+            unreachable!();
+        };
+        assert!(s.is_joined(), "the rebooted relay must rejoin");
+        let rejoined_at = s.routing().joined_at().expect("joined");
+        assert!(
+            rejoined_at >= Asn::from_secs(135),
+            "the join must have been re-executed after the reboot, not inherited"
+        );
+        let (best, _) = s.parents();
+        best.expect("parents re-selected")
+    };
+
+    // The relay re-registered with its (possibly new) parent: the
+    // parent's child table lists it again, heard after the reboot.
+    {
+        let ProtocolStack::Digs(p) = &network.stacks()[new_parent.index()] else {
+            unreachable!();
+        };
+        let children = p.children_last_seen();
+        let heard = children.iter().find(|(c, _)| *c == relay);
+        let (_, last_seen) = heard.expect("the parent's child table must list the rebooted relay");
+        assert!(*last_seen >= Asn::from_secs(135), "registration must be post-reboot");
+    }
+
+    // And the flow delivers again: the last packets of the run arrive.
+    let results = network.results();
+    let flow = &results.flows[0];
+    let late_delivered = (flow.generated.saturating_sub(10)..flow.generated)
+        .filter(|seq| flow.seq_delivered(*seq))
+        .count();
+    assert!(
+        late_delivered >= 7,
+        "post-reboot delivery should resume: {late_delivered}/10 of the last packets"
+    );
+}
+
+#[test]
 fn digs_rides_through_a_primary_link_outage() {
     use digs::config::{NetworkConfig, Protocol};
     use digs::flows::flow_set_from_sources;
@@ -114,11 +216,8 @@ fn digs_rides_through_a_primary_link_outage() {
     let source = NodeId(40);
     let mut flows = flow_set_from_sources(&[source], 500);
     flows[0].phase += 6000;
-    let config = NetworkConfig::builder(topology)
-        .protocol(Protocol::Digs)
-        .seed(21)
-        .flows(flows)
-        .build();
+    let config =
+        NetworkConfig::builder(topology).protocol(Protocol::Digs).seed(21).flows(flows).build();
     let mut network = Network::new(config);
     network.run_secs(90);
     let (best, second) = network.stacks()[source.index()].parents();

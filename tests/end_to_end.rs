@@ -13,11 +13,8 @@ fn clean_run(protocol: Protocol, seed: u64) -> digs::results::RunResults {
     for f in &mut flows {
         f.phase += 4000; // start flows after a 40 s warm-up
     }
-    let config = NetworkConfig::builder(topology)
-        .protocol(protocol)
-        .seed(seed)
-        .flows(flows)
-        .build();
+    let config =
+        NetworkConfig::builder(topology).protocol(protocol).seed(seed).flows(flows).build();
     let mut network = Network::new(config);
     network.run_secs(240);
     network.results()
@@ -26,21 +23,13 @@ fn clean_run(protocol: Protocol, seed: u64) -> digs::results::RunResults {
 #[test]
 fn digs_delivers_in_clean_conditions() {
     let results = clean_run(Protocol::Digs, 5);
-    assert!(
-        results.network_pdr() > 0.9,
-        "clean-air DiGS PDR {:.3}",
-        results.network_pdr()
-    );
+    assert!(results.network_pdr() > 0.9, "clean-air DiGS PDR {:.3}", results.network_pdr());
 }
 
 #[test]
 fn orchestra_delivers_in_clean_conditions() {
     let results = clean_run(Protocol::Orchestra, 5);
-    assert!(
-        results.network_pdr() > 0.9,
-        "clean-air Orchestra PDR {:.3}",
-        results.network_pdr()
-    );
+    assert!(results.network_pdr() > 0.9, "clean-air Orchestra PDR {:.3}", results.network_pdr());
 }
 
 #[test]

@@ -7,10 +7,7 @@ use digs::network::Network;
 use digs_sim::topology::Topology;
 
 fn formed_network(topology: Topology, protocol: Protocol, secs: u64) -> Network {
-    let config = NetworkConfig::builder(topology)
-        .protocol(protocol)
-        .seed(99)
-        .build();
+    let config = NetworkConfig::builder(topology).protocol(protocol).seed(99).build();
     let mut network = Network::new(config);
     network.run_secs(secs);
     network
@@ -20,11 +17,7 @@ fn formed_network(topology: Topology, protocol: Protocol, secs: u64) -> Network 
 fn digs_forms_on_testbed_a() {
     let network = formed_network(Topology::testbed_a(), Protocol::Digs, 150);
     let results = network.results();
-    assert!(
-        results.fraction_joined() > 0.95,
-        "join fraction {}",
-        results.fraction_joined()
-    );
+    assert!(results.fraction_joined() > 0.95, "join fraction {}", results.fraction_joined());
     let graph = network.routing_graph();
     assert!(graph.is_dag(), "parent links must stay acyclic");
     assert!(graph.all_reachable(), "every joined node reaches an AP");
@@ -50,11 +43,7 @@ fn digs_builds_route_diversity() {
 fn orchestra_forms_on_testbed_a() {
     let network = formed_network(Topology::testbed_a(), Protocol::Orchestra, 150);
     let results = network.results();
-    assert!(
-        results.fraction_joined() > 0.95,
-        "join fraction {}",
-        results.fraction_joined()
-    );
+    assert!(results.fraction_joined() > 0.95, "join fraction {}", results.fraction_joined());
     let graph = network.routing_graph();
     assert!(graph.is_dag());
     assert!(graph.all_reachable());
@@ -103,8 +92,5 @@ fn join_times_are_plausible() {
     assert!(!field_joins.is_empty());
     let mean = field_joins.iter().sum::<f64>() / field_joins.len() as f64;
     // The paper's Fig. 13 measures ~15 s mean joining times.
-    assert!(
-        (2.0..90.0).contains(&mean),
-        "mean join time {mean:.1}s is implausible"
-    );
+    assert!((2.0..90.0).contains(&mean), "mean join time {mean:.1}s is implausible");
 }
