@@ -27,6 +27,24 @@ fn bench_engine(c: &mut Criterion) {
         });
     }
 
+    // Flight-recorder overhead: the same steady-state slot workload with
+    // tracing explicitly off (no-op recorder) and on (bounded rings).
+    // Comparing the pair against the default runs above bounds the cost of
+    // both the disabled guards and live event recording.
+    for (name, cap) in [("untraced", 0usize), ("traced", 65_536)] {
+        group.bench_function(format!("digs_1s_sim_testbed_a_half_20n_{name}"), |b| {
+            let config = NetworkConfig::builder(Topology::testbed_a_half())
+                .protocol(Protocol::Digs)
+                .seed(1)
+                .random_flows(2, 500, 1)
+                .trace_cap(cap)
+                .build();
+            let mut network = Network::new(config);
+            network.run_secs(60);
+            b.iter(|| network.run(100))
+        });
+    }
+
     group.bench_function("orchestra_1s_sim_testbed_a_50n", |b| {
         let config = NetworkConfig::builder(Topology::testbed_a())
             .protocol(Protocol::Orchestra)

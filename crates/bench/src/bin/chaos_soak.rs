@@ -64,6 +64,7 @@ fn main() {
     );
 
     let mut digs_violations = Vec::new();
+    let mut digs_window = Vec::new();
     for protocol in [Protocol::Digs, Protocol::Orchestra, Protocol::WirelessHart] {
         let mut flows = digs::scenarios::far_flow_set(&topology, 6, 500, seed);
         for f in &mut flows {
@@ -74,6 +75,12 @@ fn main() {
             .seed(seed)
             .flows(flows)
             .faults(plan.faults().clone());
+        if protocol == Protocol::Digs {
+            // Flight recorder for the robustness gate: if an invariant
+            // breaks, the bounded per-node rings hold the event history
+            // around the first violation for the post-mortem below.
+            builder = builder.trace_cap(4096);
+        }
         for jammer in plan.jammers() {
             builder = builder.jammer(jammer.clone());
         }
@@ -104,6 +111,16 @@ fn main() {
             net.run_audited(FINAL_SETTLE_SECS * SLOTS_PER_SECOND, AUDIT_EVERY_SLOTS);
             digs_violations = net.violations().to_vec();
             digs_violations.extend(digs::audit::check_loop_freedom(&net.audit_snapshot()));
+            digs_window = net.violation_window().to_vec();
+            if digs_window.is_empty() && !digs_violations.is_empty() {
+                // Violations found only by the final deep-quiet check (not
+                // by run_audited): snapshot the trailing window ourselves.
+                digs_window = digs_trace::window(
+                    &net.trace().events(),
+                    net.asn().0,
+                    Network::VIOLATION_WINDOW_SLOTS,
+                );
+            }
         }
     }
 
@@ -114,6 +131,15 @@ fn main() {
         println!("FAIL: {} DiGS invariant violation(s):", digs_violations.len());
         for v in &digs_violations {
             println!("  {v}");
+        }
+        println!();
+        println!(
+            "flight-recorder window around the first violation ({} events, last {} slots):",
+            digs_window.len(),
+            Network::VIOLATION_WINDOW_SLOTS
+        );
+        for e in &digs_window {
+            println!("  {e}");
         }
         std::process::exit(1);
     }

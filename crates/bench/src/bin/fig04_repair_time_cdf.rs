@@ -5,10 +5,12 @@
 //! Paper: repair time ranges 20–95 s with a median of 45 s.
 
 use digs::config::Protocol;
+use digs::network::Network;
 use digs::scenarios;
 use digs_metrics::format::{cdf_table, figure_header};
 use digs_metrics::Cdf;
 use digs_sim::time::Asn;
+use digs_trace::EventKind;
 
 fn main() {
     let sets = digs_bench::sets(6);
@@ -44,5 +46,28 @@ fn main() {
             ]);
         }
         None => println!("no repair events observed — increase DIGS_SETS"),
+    }
+
+    // Flight-recorder drill-down: with DIGS_TRACE_CAP set, re-run the
+    // 1-jammer scenario once with the recorder on and print the
+    // parent-churn timeline hiding behind the aggregate CDF above.
+    if digs_trace::TraceHandle::from_env().is_on() {
+        let mut net = Network::new(scenarios::testbed_a_jammer_sweep(Protocol::Orchestra, 1, 1));
+        net.run_secs(secs);
+        let events = net.trace().events();
+        let churn = digs_trace::churn_timeline(&events);
+        let first_switch = churn
+            .iter()
+            .find(|e| e.asn >= jam_start.0 && matches!(e.kind, EventKind::ParentSwitch { .. }))
+            .map(|e| (e.asn - jam_start.0) as f64 / 100.0);
+        println!();
+        println!(
+            "flight recorder (1 jammer, seed 1): {} churn events, first parent switch {} after jamming began",
+            churn.len(),
+            first_switch.map_or("never".to_string(), |s| format!("{s:.1} s")),
+        );
+        for e in churn.iter().filter(|e| e.asn >= jam_start.0).take(20) {
+            println!("  {e}");
+        }
     }
 }

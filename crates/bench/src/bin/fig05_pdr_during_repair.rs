@@ -5,6 +5,7 @@
 //! large variations.
 
 use digs::config::Protocol;
+use digs::network::Network;
 use digs::scenarios;
 use digs_metrics::format::{boxplot_table, figure_header};
 use digs_metrics::BoxplotStats;
@@ -60,4 +61,28 @@ fn main() {
     let rows: Vec<(&str, &str, f64)> =
         comparisons.iter().map(|(a, b, c)| (a.as_str(), b.as_str(), *c)).collect();
     digs_bench::print_comparisons(&rows);
+
+    // Flight-recorder drill-down: with DIGS_TRACE_CAP set, trace the
+    // 4-jammer worst case once and relate the PDR dip to the packet
+    // journeys the recorder reconstructs across the jammed window.
+    if digs_trace::TraceHandle::from_env().is_on() {
+        let mut net = Network::new(scenarios::testbed_a_jammer_sweep(Protocol::Orchestra, 4, 1));
+        net.run_secs(secs);
+        let events = net.trace().events();
+        let journeys = digs_trace::journeys(&events);
+        let jam = scenarios::JAM_START_SECS * 100;
+        let jammed: Vec<_> =
+            journeys.iter().filter(|j| j.generated_at.is_some_and(|g| g >= jam)).collect();
+        let complete = jammed.iter().filter(|j| j.is_complete()).count();
+        let retx: u32 =
+            jammed.iter().map(|j| j.total_attempts().saturating_sub(j.hops.len() as u32)).sum();
+        println!();
+        println!(
+            "flight recorder (4 jammers, seed 1): {} journeys generated under jamming, \
+             {} delivered, {} retransmissions",
+            jammed.len(),
+            complete,
+            retx,
+        );
+    }
 }

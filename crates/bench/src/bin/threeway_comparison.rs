@@ -79,6 +79,24 @@ fn main() {
             clean_results.median_latency_ms().unwrap_or(f64::NAN),
             clean_results.power_per_received_packet_mw(),
         );
+        // With DIGS_TRACE_CAP set, decompose the clean-run latency into
+        // the flight recorder's per-hop queueing/retransmission parts —
+        // this is where DiGS's dedicated cells vs Orchestra's shared
+        // slots actually show up.
+        if clean.trace().is_on() {
+            let b = digs_trace::latency_breakdown(&digs_trace::journeys(&clean.trace().events()));
+            println!(
+                "{:>14} | {:>5}/{} journeys | {:>4.1} hops | {:>5.1} queue + {:>5.1} retx of {:>6.1} slots | {} via backup",
+                "  breakdown",
+                b.complete,
+                b.journeys,
+                b.mean_hops,
+                b.mean_queue_slots,
+                b.mean_retx_slots,
+                b.mean_latency_slots,
+                b.used_backup,
+            );
+        }
     }
     // Fourth row: the centralized baseline *with* its manager's recovery
     // cycle modelled (Fig. 3 cost). The manager may find the victim

@@ -6,7 +6,16 @@
 //! digs-cli topology [--topology T]
 //! digs-cli graph [--topology T] [--protocol P] [--secs N] [--seed N]
 //! digs-cli manager [--topology T] [--flows N]
+//! digs-cli trace journeys [--min-complete N] [run options...]
+//! digs-cli trace churn    [run options...]
+//! digs-cli trace dump     [run options...]
 //! ```
+//!
+//! The `trace` commands run a network with the flight recorder enabled
+//! (`--trace-cap` events per node, default 65536) and analyse the event
+//! stream: `journeys` reconstructs hop-by-hop packet journeys and prints
+//! the latency breakdown, `churn` prints the parent-churn/repair timeline,
+//! and `dump` writes the raw events as JSONL to stdout.
 //!
 //! Topologies: `testbed-a` (default), `testbed-a-half`, `testbed-b`,
 //! `testbed-b-half`, `cooja`, or `random:<devices>:<side-m>`.
@@ -23,16 +32,29 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
+    /// Positional word after the command (`trace journeys|churn|dump`).
+    subcommand: Option<String>,
     options: BTreeMap<String, String>,
     json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or_else(usage)?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let command = argv.get(i).cloned().ok_or_else(usage)?;
+    i += 1;
+    let subcommand = match argv.get(i) {
+        Some(word) if !word.starts_with("--") => {
+            i += 1;
+            Some(word.clone())
+        }
+        _ => None,
+    };
     let mut options = BTreeMap::new();
     let mut json = false;
-    while let Some(flag) = argv.next() {
+    while i < argv.len() {
+        let flag = &argv[i];
+        i += 1;
         if flag == "--json" {
             json = true;
             continue;
@@ -40,15 +62,18 @@ fn parse_args() -> Result<Args, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument `{flag}`\n{}", usage()))?;
-        let value = argv.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+        let value = argv.get(i).cloned().ok_or_else(|| format!("flag --{name} needs a value"))?;
+        i += 1;
         options.insert(name.to_string(), value);
     }
-    Ok(Args { command, options, json })
+    Ok(Args { command, subcommand, options, json })
 }
 
 fn usage() -> String {
-    "usage: digs-cli <run|topology|graph|manager> [--topology T] [--protocol P] \
-     [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]"
+    "usage: digs-cli <run|topology|graph|manager|trace> [--topology T] [--protocol P] \
+     [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]\n\
+     trace subcommands: journeys [--min-complete N] | churn | dump  \
+     (plus --trace-cap N, default 65536)"
         .to_string()
 }
 
@@ -85,7 +110,7 @@ where
     }
 }
 
-fn build_network(args: &Args) -> Result<Network, String> {
+fn build_network(args: &Args, trace_cap: Option<usize>) -> Result<Network, String> {
     let topology = topology_from(args.options.get("topology").map_or("testbed-a", String::as_str))?;
     let protocol = match args.options.get("protocol").map_or("digs", String::as_str) {
         "digs" => Protocol::Digs,
@@ -108,6 +133,9 @@ fn build_network(args: &Args) -> Result<Network, String> {
         .rf(rf)
         .seed(seed)
         .random_flows(flows, period_ms / 10, seed);
+    if let Some(cap) = trace_cap {
+        builder = builder.trace_cap(cap);
+    }
     for i in 0..jammers {
         let pos = Position::new(12.0 + 14.0 * i as f64, 8.0 + 5.0 * i as f64);
         builder = builder.jammer(Jammer::wifi(pos, [1u8, 6, 11][i % 3], Asn::from_secs(60)));
@@ -117,7 +145,7 @@ fn build_network(args: &Args) -> Result<Network, String> {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let secs: u64 = get(args, "secs", 300)?;
-    let mut network = build_network(args)?;
+    let mut network = build_network(args, None)?;
     network.run_secs(secs);
     let results = network.results();
     if args.json {
@@ -182,7 +210,7 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
 
 fn cmd_graph(args: &Args) -> Result<(), String> {
     let secs: u64 = get(args, "secs", 150)?;
-    let mut network = build_network(args)?;
+    let mut network = build_network(args, None)?;
     network.run_secs(secs);
     let graph = network.routing_graph();
     println!(
@@ -226,6 +254,92 @@ fn cmd_manager(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let sub = args
+        .subcommand
+        .as_deref()
+        .ok_or_else(|| format!("trace needs a subcommand (journeys|churn|dump)\n{}", usage()))?;
+    let secs: u64 = get(args, "secs", 120)?;
+    let cap: usize = get(args, "trace-cap", 65_536)?;
+    let mut network = build_network(args, Some(cap))?;
+    network.run_secs(secs);
+    let events = network.trace().events();
+    match sub {
+        "journeys" => {
+            let journeys = digs_trace::journeys(&events);
+            let b = digs_trace::latency_breakdown(&journeys);
+            println!("events          : {}", events.len());
+            println!(
+                "journeys        : {} ({} complete, {} via backup parent)",
+                b.journeys, b.complete, b.used_backup
+            );
+            println!("mean latency    : {:.1} slots", b.mean_latency_slots);
+            println!("mean hops       : {:.2}", b.mean_hops);
+            println!("mean queueing   : {:.1} slots/journey", b.mean_queue_slots);
+            println!("mean retx wait  : {:.1} slots/journey", b.mean_retx_slots);
+            println!("mean attempts   : {:.2}", b.mean_attempts);
+            let mut complete: Vec<_> = journeys.iter().filter(|j| j.is_complete()).collect();
+            complete.sort_by_key(|j| std::cmp::Reverse(j.latency_slots.unwrap_or(0)));
+            println!("slowest journeys:");
+            for j in complete.iter().take(10) {
+                println!(
+                    "  {}: {} slots over {} hops, {} attempts{}",
+                    j.packet,
+                    j.latency_slots.unwrap_or(0),
+                    j.hops.len(),
+                    j.total_attempts(),
+                    if j.used_backup() { ", via backup" } else { "" }
+                );
+            }
+            let min_complete: usize = get(args, "min-complete", 0)?;
+            if b.complete < min_complete {
+                return Err(format!(
+                    "only {} complete journeys reconstructed (need {min_complete})",
+                    b.complete
+                ));
+            }
+            Ok(())
+        }
+        "churn" => {
+            let timeline = digs_trace::churn_timeline(&events);
+            println!("churn/repair timeline ({} events):", timeline.len());
+            for e in &timeline {
+                println!("  {e}");
+            }
+            let episodes = digs_trace::repair_episodes(&events);
+            println!("repair episodes: {}", episodes.len());
+            for ep in &episodes {
+                let first =
+                    ep.first_switch_after.map_or_else(|| "-".to_string(), |d| format!("{d} slots"));
+                println!(
+                    "  {} → {} parent switches, first after {first}",
+                    ep.fault,
+                    ep.switches.len()
+                );
+            }
+            Ok(())
+        }
+        "dump" => {
+            let text = digs_trace::to_jsonl(&events);
+            // Round-trip before emitting: a dump the tooling cannot parse
+            // back is worse than no dump.
+            let parsed =
+                digs_trace::from_jsonl(&text).map_err(|e| format!("round-trip failed: {e}"))?;
+            if parsed.len() != events.len() {
+                return Err(format!(
+                    "round-trip lost events: {} in, {} back",
+                    events.len(),
+                    parsed.len()
+                ));
+            }
+            print!("{text}");
+            eprintln!("{} events", events.len());
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand `{other}` (journeys|churn|dump)")),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -239,6 +353,7 @@ fn main() -> ExitCode {
         "topology" => cmd_topology(&args),
         "graph" => cmd_graph(&args),
         "manager" => cmd_manager(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {

@@ -62,6 +62,10 @@ pub struct NetworkConfig {
     /// Application slotframe cycles a packet may spend at one hop before
     /// being dropped (total link-layer persistence).
     pub max_cycles: u8,
+    /// Flight-recorder ring capacity per node (events). `None` defers to
+    /// the `DIGS_TRACE_CAP` environment variable; `Some(0)` forces tracing
+    /// off regardless of the environment.
+    pub trace_cap: Option<usize>,
 }
 
 impl NetworkConfig {
@@ -82,6 +86,7 @@ impl NetworkConfig {
                 // Contiki's queuebuf default: 8 packets per node.
                 queue_capacity: 8,
                 max_cycles: 3,
+                trace_cap: None,
             },
         }
     }
@@ -179,6 +184,14 @@ impl NetworkConfigBuilder {
     /// Sets per-hop persistence in application slotframe cycles.
     pub fn max_cycles(mut self, cycles: u8) -> Self {
         self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Enables the flight recorder with the given per-node ring capacity
+    /// (0 forces it off). Without this call the `DIGS_TRACE_CAP`
+    /// environment variable decides.
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.config.trace_cap = Some(cap);
         self
     }
 

@@ -10,6 +10,7 @@ use digs_routing::graph::{GraphEntry, RoutingGraph};
 use digs_sim::engine::Engine;
 use digs_sim::ids::NodeId;
 use digs_sim::time::{Asn, SLOTS_PER_SECOND};
+use digs_trace::{Event, EventKind, TraceHandle};
 use std::collections::BTreeMap;
 
 /// A fully wired network: engine + one protocol stack per node.
@@ -27,6 +28,10 @@ pub struct Network {
     /// Consecutive audits (in `run_audited`) that observed the *same*
     /// cycle signature.
     loop_streak: u64,
+    /// The flight-recorder event window captured around the first invariant
+    /// violation `run_audited` recorded (empty until then, or when tracing
+    /// is off).
+    violation_window: Vec<Event>,
 }
 
 impl Network {
@@ -37,6 +42,11 @@ impl Network {
             engine.add_jammer(jammer.clone());
         }
         engine.set_fault_plan(config.faults.clone());
+        let trace = match config.trace_cap {
+            Some(cap) => TraceHandle::bounded(cap),
+            None => TraceHandle::from_env(),
+        };
+        engine.set_trace(trace.clone());
 
         // The centralized baseline needs the manager's schedule computed
         // up front from the link-state oracle (which is what the manager's
@@ -57,7 +67,7 @@ impl Network {
         };
 
         let num_aps = config.topology.num_access_points() as u16;
-        let stacks = config
+        let mut stacks: Vec<ProtocolStack> = config
             .topology
             .node_ids()
             .map(|id| {
@@ -99,6 +109,11 @@ impl Network {
                 }
             })
             .collect();
+        if trace.is_on() {
+            for stack in &mut stacks {
+                stack.set_trace(trace.clone());
+            }
+        }
         Network {
             config,
             engine,
@@ -106,6 +121,7 @@ impl Network {
             violations: Vec::new(),
             loop_signature: Vec::new(),
             loop_streak: 0,
+            violation_window: Vec::new(),
         }
     }
 
@@ -127,6 +143,12 @@ impl Network {
     /// The per-node stacks.
     pub fn stacks(&self) -> &[ProtocolStack] {
         &self.stacks
+    }
+
+    /// The flight recorder shared by the engine and every stack (off by
+    /// default; see [`crate::config::NetworkConfig::trace_cap`]).
+    pub fn trace(&self) -> &TraceHandle {
+        self.engine.trace()
     }
 
     /// Runs for `slots` slots.
@@ -182,6 +204,7 @@ impl Network {
             let step = next_audit.min(end) - self.engine.asn().0;
             self.engine.run(&mut self.stacks, step);
             if self.engine.asn().0.is_multiple_of(every) {
+                let recorded_before = self.violations.len();
                 let snapshot = self.audit_snapshot();
                 let (loops, immediate): (Vec<_>, Vec<_>) = crate::audit::audit(&snapshot)
                     .into_iter()
@@ -208,6 +231,7 @@ impl Network {
                     self.loop_streak = 1;
                 }
                 self.loop_signature = signature;
+                self.trace_new_violations(recorded_before);
             }
         }
     }
@@ -215,6 +239,44 @@ impl Network {
     /// Violations collected so far by [`Network::run_audited`].
     pub fn violations(&self) -> &[InvariantViolation] {
         &self.violations
+    }
+
+    /// Slots of flight-recorder history preserved around the first
+    /// invariant violation (20 s of simulated time).
+    pub const VIOLATION_WINDOW_SLOTS: u64 = 2_000;
+
+    /// Mirrors violations recorded since index `from` into the flight
+    /// recorder and, on the *first* violation of the run, snapshots the
+    /// trailing event window for post-mortem triage.
+    fn trace_new_violations(&mut self, from: usize) {
+        if self.violations.len() == from || !self.engine.trace().is_on() {
+            return;
+        }
+        for v in &self.violations[from..] {
+            self.engine.trace().record(
+                v.asn.0,
+                v.node.0,
+                EventKind::AuditViolation {
+                    kind: format!("{:?}", v.kind),
+                    detail: v.detail.clone(),
+                },
+            );
+        }
+        if self.violation_window.is_empty() {
+            self.violation_window = digs_trace::window(
+                &self.engine.trace().events(),
+                self.engine.asn().0,
+                Self::VIOLATION_WINDOW_SLOTS,
+            );
+        }
+    }
+
+    /// The flight-recorder events captured around the first invariant
+    /// violation [`Network::run_audited`] recorded — the crash-dump the
+    /// chaos harness prints. Empty when no violation occurred or tracing
+    /// is off.
+    pub fn violation_window(&self) -> &[Event] {
+        &self.violation_window
     }
 
     /// Captures the distributed state the runtime auditor checks: the
@@ -413,6 +475,8 @@ impl Network {
                     energy_mj: meter.energy_mj(),
                     mean_power_mw: meter.mean_power_mw(),
                     duty_cycle: meter.duty_cycle(),
+                    tx_us: meter.tx_us,
+                    rx_us: meter.rx_us,
                     joined_at: t.joined_at,
                     parent_changes: t.parent_changes.len(),
                 }
@@ -531,12 +595,118 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_reconstructs_complete_journeys() {
+        let config = NetworkConfig::builder(Topology::testbed_a_half())
+            .protocol(Protocol::Digs)
+            .seed(11)
+            .random_flows(2, 300, 5)
+            .trace_cap(200_000)
+            .build();
+        let mut net = Network::new(config);
+        net.run_secs(120);
+        assert!(net.trace().is_on());
+        let events = net.trace().events();
+        assert!(!events.is_empty(), "a traced run must record events");
+        let journeys = digs_trace::journeys(&events);
+        assert!(
+            journeys.iter().any(digs_trace::Journey::is_complete),
+            "at least one packet journey must reconstruct end to end \
+             ({} journeys, {} events)",
+            journeys.len(),
+            events.len()
+        );
+        // Hop-by-hop accounting: a complete journey's latency covers its
+        // per-hop queueing.
+        for j in journeys.iter().filter(|j| j.is_complete()) {
+            let queueing: u64 = j.hops.iter().filter_map(digs_trace::Hop::queueing_slots).sum();
+            assert!(j.latency_slots.unwrap_or(0) >= queueing);
+        }
+    }
+
+    #[test]
+    fn forced_violation_captures_bounded_event_window() {
+        // A healthy DiGS run never violates an invariant, so force one:
+        // inject a fabricated violation exactly the way `run_audited`
+        // records real ones, and check the crash-dump machinery — the
+        // violation is mirrored into the trace and a bounded trailing
+        // window is snapshotted for the chaos harness to print.
+        let config = NetworkConfig::builder(Topology::testbed_a_half())
+            .protocol(Protocol::Digs)
+            .seed(11)
+            .random_flows(2, 300, 5)
+            .trace_cap(50_000)
+            .build();
+        let mut net = Network::new(config);
+        net.run_secs(60);
+        net.violations.push(crate::audit::InvariantViolation {
+            kind: crate::audit::InvariantKind::RoutingLoop,
+            asn: net.asn(),
+            node: NodeId(3),
+            detail: "fabricated for the crash-dump test".into(),
+        });
+        net.trace_new_violations(0);
+
+        let window = net.violation_window();
+        assert!(!window.is_empty(), "a violation must snapshot an event window");
+        let end = net.asn().0;
+        let cutoff = end.saturating_sub(Network::VIOLATION_WINDOW_SLOTS);
+        assert!(
+            window.iter().all(|e| e.asn > cutoff && e.asn <= end),
+            "the window must be bounded to the last {} slots",
+            Network::VIOLATION_WINDOW_SLOTS
+        );
+        assert!(
+            window.iter().any(|e| matches!(e.kind, digs_trace::EventKind::AuditViolation { .. })),
+            "the violation itself must appear in the window"
+        );
+        // A second violation must not re-snapshot (the window belongs to
+        // the *first* violation of the run).
+        let first = net.violation_window().to_vec();
+        net.violations.push(crate::audit::InvariantViolation {
+            kind: crate::audit::InvariantKind::QueueBound,
+            asn: net.asn(),
+            node: NodeId(4),
+            detail: "second fabricated violation".into(),
+        });
+        net.trace_new_violations(1);
+        assert_eq!(net.violation_window(), &first[..]);
+    }
+
+    #[test]
+    fn tracing_does_not_change_outcomes() {
+        let run = |cap: Option<usize>| {
+            let mut b = NetworkConfig::builder(Topology::testbed_a_half())
+                .protocol(Protocol::Digs)
+                .seed(11)
+                .random_flows(2, 300, 5)
+                .trace_cap(0); // pin off, immune to DIGS_TRACE_CAP
+            if let Some(c) = cap {
+                b = b.trace_cap(c);
+            }
+            let mut net = Network::new(b.build());
+            net.run_secs(60);
+            let r = net.results();
+            (r.total_delivered(), r.total_generated(), r.parent_change_times.len())
+        };
+        assert_eq!(run(None), run(Some(100_000)), "tracing must be observation-only");
+    }
+
+    #[test]
     fn energy_is_consumed() {
         let mut net = Network::new(tiny_config(Protocol::Digs));
         net.run_secs(30);
         let results = net.results();
         assert!(results.total_mean_power_mw() > 0.0);
         assert!(results.nodes.iter().all(|n| n.duty_cycle <= 1.0));
+        // The breakdown must be consistent with the duty cycle: radio-on
+        // time is exactly tx + rx.
+        let slot_us = digs_sim::time::SLOT_MS * 1000;
+        for n in &results.nodes {
+            let on_us = n.tx_us + n.rx_us;
+            let total_us = results.duration.0 * slot_us;
+            assert!((n.duty_cycle - on_us as f64 / total_us as f64).abs() < 1e-9);
+        }
+        assert!(results.nodes.iter().any(|n| n.tx_us > 0 && n.rx_us > 0));
     }
 }
 

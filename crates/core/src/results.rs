@@ -59,6 +59,10 @@ pub struct NodeResult {
     pub mean_power_mw: f64,
     /// Radio duty cycle in `[0, 1]`.
     pub duty_cycle: f64,
+    /// Microseconds the radio spent transmitting (energy breakdown).
+    pub tx_us: u64,
+    /// Microseconds the radio spent in receive/listen (energy breakdown).
+    pub rx_us: u64,
     /// When the node joined the network (synced + parents), if it did.
     pub joined_at: Option<Asn>,
     /// Number of parent-set changes.
@@ -224,6 +228,8 @@ mod tests {
             energy_mj: power * 10.0,
             mean_power_mw: power,
             duty_cycle: duty,
+            tx_us: 0,
+            rx_us: 0,
             joined_at: joined.map(Asn),
             parent_changes: 0,
         }

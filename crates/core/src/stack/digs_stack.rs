@@ -2,7 +2,7 @@
 //! autonomous scheduling → data forwarding over primary and backup routes.
 
 use super::{
-    scan_offset, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
+    scan_offset, trace_pid, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
     MAX_ROUTING_RETRIES,
 };
 use crate::flows::FlowSpec;
@@ -17,6 +17,7 @@ use digs_sim::ids::NodeId;
 use digs_sim::packet::{Dest, Frame};
 use digs_sim::rf::Dbm;
 use digs_sim::time::Asn;
+use digs_trace::{EventKind, TraceHandle};
 
 /// The DiGS protocol stack for one node.
 #[derive(Debug)]
@@ -44,6 +45,15 @@ pub struct DigsStack {
     last_tx: Option<LastTx>,
     seq_next: u32,
     telemetry: StackTelemetry,
+    /// Flight recorder (no-op unless [`DigsStack::set_trace`] installed a
+    /// live handle).
+    trace: TraceHandle,
+    /// Parent set as last reported to the flight recorder, so a
+    /// `ParentSwitch` event can carry the pre-change view (the routing
+    /// layer has already updated itself by the time its event is seen).
+    traced_parents: (Option<NodeId>, Option<NodeId>),
+    /// Rank as last reported to the flight recorder.
+    traced_rank: Rank,
     /// Construction parameters retained so a cold reboot (engine `reset`)
     /// can reprovision the stack from factory state.
     provision: Provision,
@@ -83,10 +93,12 @@ impl DigsStack {
             telemetry.synced_at = Some(Asn::ZERO);
             telemetry.joined_at = Some(Asn::ZERO);
         }
+        let routing = DigsRouting::new(id, is_ap, routing_config, seed, Asn::ZERO);
         DigsStack {
             id,
             is_ap,
-            routing: DigsRouting::new(id, is_ap, routing_config, seed, Asn::ZERO),
+            traced_rank: routing.rank(),
+            routing,
             scheduler: DigsScheduler::new(id, num_aps, slotframes, attempts),
             flows,
             app_queue: BoundedQueue::new(queue_capacity),
@@ -98,6 +110,8 @@ impl DigsStack {
             last_tx: None,
             seq_next: 0,
             telemetry,
+            trace: TraceHandle::off(),
+            traced_parents: (None, None),
             provision: Provision {
                 num_aps,
                 slotframes,
@@ -112,6 +126,61 @@ impl DigsStack {
     /// Harness telemetry.
     pub fn telemetry(&self) -> &StackTelemetry {
         &self.telemetry
+    }
+
+    /// Installs the flight-recorder handle (shared with the engine).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+        self.traced_parents = self.parents();
+        self.traced_rank = self.rank();
+    }
+
+    /// Records a rank change since the last recorded value (called after
+    /// every routing-event batch, which is the only place rank moves).
+    fn trace_rank(&mut self, asn: Asn) {
+        if !self.trace.is_on() {
+            return;
+        }
+        let rank = self.routing.rank();
+        if rank != self.traced_rank {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::RankChange { old: Some(self.traced_rank.0), new: rank.0 },
+            );
+            self.traced_rank = rank;
+        }
+    }
+
+    /// Records the dedicated receive cell (Eq. 4, attempt 1) installed for
+    /// a newly registered child.
+    fn trace_cell_alloc(&self, asn: Asn, child: NodeId) {
+        if self.trace.is_on() {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::CellAlloc {
+                    slot: self.scheduler.tx_slot(child, 1),
+                    offset: DigsScheduler::attempt_offset(child, 1).0,
+                    child: child.0,
+                },
+            );
+        }
+    }
+
+    /// Records the release of a child's dedicated receive cell.
+    fn trace_cell_release(&self, asn: Asn, child: NodeId) {
+        if self.trace.is_on() {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::CellRelease {
+                    slot: self.scheduler.tx_slot(child, 1),
+                    offset: DigsScheduler::attempt_offset(child, 1).0,
+                    child: child.0,
+                },
+            );
+        }
     }
 
     /// Current `(best, second)` parents.
@@ -201,9 +270,19 @@ impl DigsStack {
                     debug_assert!(false, "DiGS routing never emits DIOs");
                 }
                 RoutingEvent::ParentsChanged { best, second } => {
-                    if second != self.routing.second_best_parent() || second.is_none() {
-                        // (routing already updated itself; compare against
-                        // the scheduler's previous view instead)
+                    if self.trace.is_on() {
+                        let (old_best, old_second) = self.traced_parents;
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::ParentSwitch {
+                                old_best: old_best.map(|n| n.0),
+                                new_best: best.map(|n| n.0),
+                                old_second: old_second.map(|n| n.0),
+                                new_second: second.map(|n| n.0),
+                            },
+                        );
+                        self.traced_parents = (best, second);
                     }
                     self.second_confirmed = false;
                     self.scheduler.set_parents(best, second);
@@ -226,6 +305,7 @@ impl DigsStack {
                 }
             }
         }
+        self.trace_rank(asn);
     }
 
     /// Picks the actual next hop for a data cell: the backup route is only
@@ -265,8 +345,31 @@ impl DigsStack {
                 };
                 self.seq_next += 1;
                 *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::Generated { packet: trace_pid(&packet) },
+                    );
+                }
                 if !self.app_queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
                     self.telemetry.queue_drops += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueOverflow { packet: trace_pid(&packet) },
+                        );
+                    }
+                } else if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueEnq {
+                            packet: trace_pid(&packet),
+                            depth: self.app_queue.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -303,6 +406,7 @@ impl NodeStack for DigsStack {
             for id in stale {
                 self.child_last_seen.remove(&id);
                 self.scheduler.remove_child(id);
+                self.trace_cell_release(asn, id);
             }
         }
 
@@ -352,6 +456,7 @@ impl NodeStack for DigsStack {
                 let to = self.resolve_data_target(to, attempt, asn);
                 match self.app_queue.front() {
                     Some(item) => {
+                        let pid = trace_pid(&item.packet);
                         let payload = Payload::Data(item.packet);
                         self.last_tx = Some(LastTx::Data { to });
                         SlotIntent::Transmit {
@@ -362,7 +467,8 @@ impl NodeStack for DigsStack {
                                 payload.frame_kind(),
                                 payload.frame_size(),
                                 payload,
-                            ),
+                            )
+                            .with_trace_id(pid),
                             contention: cell.contention,
                         }
                     }
@@ -400,11 +506,15 @@ impl NodeStack for DigsStack {
                     if msg.best_parent == Some(self.id) {
                         self.scheduler
                             .add_child(frame.src, digs_routing::messages::ParentSlot::Best);
-                        self.child_last_seen.insert(frame.src, asn);
+                        if self.child_last_seen.insert(frame.src, asn).is_none() {
+                            self.trace_cell_alloc(asn, frame.src);
+                        }
                     } else if msg.second_parent == Some(self.id) {
                         self.scheduler
                             .add_child(frame.src, digs_routing::messages::ParentSlot::SecondBest);
-                        self.child_last_seen.insert(frame.src, asn);
+                        if self.child_last_seen.insert(frame.src, asn).is_none() {
+                            self.trace_cell_alloc(asn, frame.src);
+                        }
                     }
                 }
             }
@@ -413,10 +523,14 @@ impl NodeStack for DigsStack {
                     let events = self.routing.on_joined_callback(frame.src, cb, asn);
                     if cb.selected {
                         self.scheduler.add_child(frame.src, cb.slot);
-                        self.child_last_seen.insert(frame.src, asn);
+                        if self.child_last_seen.insert(frame.src, asn).is_none() {
+                            self.trace_cell_alloc(asn, frame.src);
+                        }
                     } else {
                         self.scheduler.remove_child(frame.src);
-                        self.child_last_seen.remove(&frame.src);
+                        if self.child_last_seen.remove(&frame.src).is_some() {
+                            self.trace_cell_release(asn, frame.src);
+                        }
                     }
                     self.process_routing_events(events, asn);
                 }
@@ -439,15 +553,43 @@ impl NodeStack for DigsStack {
                         digs_routing::messages::ParentSlot::SecondBest
                     };
                     self.scheduler.add_child(frame.src, role);
-                    self.child_last_seen.insert(frame.src, asn);
+                    if self.child_last_seen.insert(frame.src, asn).is_none() {
+                        self.trace_cell_alloc(asn, frame.src);
+                    }
                 }
                 if self.is_ap {
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::Delivered {
+                                packet: trace_pid(packet),
+                                latency_slots: asn.0.saturating_sub(packet.generated_at.0),
+                            },
+                        );
+                    }
                     self.telemetry
                         .deliveries
                         .push(DeliveryRecord { packet: *packet, delivered_at: asn });
                 } else if !self.app_queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 })
                 {
                     self.telemetry.queue_drops += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueOverflow { packet: trace_pid(packet) },
+                        );
+                    }
+                } else if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueEnq {
+                            packet: trace_pid(packet),
+                            depth: self.app_queue.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -469,6 +611,8 @@ impl NodeStack for DigsStack {
         self.second_confirmed = false;
         self.synced_at = if self.is_ap { Some(asn) } else { None };
         self.last_tx = None;
+        self.traced_parents = (None, None);
+        self.traced_rank = self.routing.rank();
     }
 
     fn desync(&mut self, _asn: Asn) {
@@ -520,7 +664,18 @@ impl NodeStack for DigsStack {
             },
             LastTx::Data { to } => match outcome {
                 TxOutcome::Acked => {
-                    self.app_queue.pop();
+                    if let Some(item) = self.app_queue.pop() {
+                        if self.trace.is_on() {
+                            self.trace.record(
+                                asn.0,
+                                self.id.0,
+                                EventKind::QueueDeq {
+                                    packet: trace_pid(&item.packet),
+                                    depth: self.app_queue.len() as u32,
+                                },
+                            );
+                        }
+                    }
                     self.telemetry.forwarded += 1;
                     if self.routing.second_best_parent() == Some(to) {
                         self.second_confirmed = true;
@@ -534,6 +689,13 @@ impl NodeStack for DigsStack {
                         item.failed_attempts = item.failed_attempts.saturating_add(1);
                         if u16::from(item.failed_attempts) >= budget {
                             self.telemetry.retry_drops += 1;
+                            if self.trace.is_on() {
+                                self.trace.record(
+                                    asn.0,
+                                    self.id.0,
+                                    EventKind::RetryDrop { packet: trace_pid(&item.packet) },
+                                );
+                            }
                         } else {
                             // Head-of-line: retries keep FIFO position by
                             // re-inserting at the front via rebuild.

@@ -62,6 +62,11 @@ pub(crate) struct QueuedRoutingMsg {
 /// abandoned (a fresher one will follow via Trickle).
 pub(crate) const MAX_ROUTING_RETRIES: u8 = 8;
 
+/// The flight-recorder identity of an application packet.
+pub(crate) fn trace_pid(packet: &DataPacket) -> digs_trace::PacketId {
+    digs_trace::PacketId { flow: packet.flow.0, seq: packet.seq, origin: packet.origin.0 }
+}
+
 /// Channel offset that makes the hopping sequence land on a fixed physical
 /// scan channel: an unsynchronised node parks its radio on one channel and
 /// waits for an EB (rotating the channel slowly so a jammed channel cannot
@@ -143,6 +148,16 @@ impl ProtocolStack {
             ProtocolStack::Orchestra(s) => s.is_joined(),
             // Provisioned by the manager before the data phase.
             ProtocolStack::WirelessHart(_) => true,
+        }
+    }
+
+    /// Installs the flight-recorder handle (shared with the engine). A
+    /// default-constructed stack records nothing.
+    pub fn set_trace(&mut self, trace: digs_trace::TraceHandle) {
+        match self {
+            ProtocolStack::Digs(s) => s.set_trace(trace),
+            ProtocolStack::Orchestra(s) => s.set_trace(trace),
+            ProtocolStack::WirelessHart(s) => s.set_trace(trace),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! parent) → Orchestra receiver-based scheduling.
 
 use super::{
-    scan_offset, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
+    scan_offset, trace_pid, DeliveryRecord, LastTx, QueuedPacket, QueuedRoutingMsg, StackTelemetry,
     MAX_ROUTING_RETRIES,
 };
 use crate::flows::FlowSpec;
@@ -17,6 +17,7 @@ use digs_sim::ids::NodeId;
 use digs_sim::packet::{Dest, Frame};
 use digs_sim::rf::Dbm;
 use digs_sim::time::Asn;
+use digs_trace::{EventKind, TraceHandle};
 
 /// Maximum link-layer transmissions of a data packet before Orchestra
 /// drops it (TSCH's default MAC retry budget).
@@ -39,6 +40,13 @@ pub struct OrchestraStack {
     last_tx: Option<LastTx>,
     seq_next: u32,
     telemetry: StackTelemetry,
+    /// Flight recorder (no-op unless [`OrchestraStack::set_trace`]
+    /// installed a live handle).
+    trace: TraceHandle,
+    /// Preferred parent as last reported to the flight recorder.
+    traced_parent: Option<NodeId>,
+    /// Rank as last reported to the flight recorder.
+    traced_rank: Rank,
     /// Construction parameters retained so a cold reboot (engine `reset`)
     /// can reprovision the stack from factory state.
     provision: Provision,
@@ -71,10 +79,12 @@ impl OrchestraStack {
             telemetry.synced_at = Some(Asn::ZERO);
             telemetry.joined_at = Some(Asn::ZERO);
         }
+        let routing = RplRouting::new(id, is_ap, routing_config, seed, Asn::ZERO);
         OrchestraStack {
             id,
             is_ap,
-            routing: RplRouting::new(id, is_ap, routing_config, seed, Asn::ZERO),
+            traced_rank: routing.rank(),
+            routing,
             scheduler: OrchestraScheduler::new(id, slotframes),
             flows,
             app_queue: BoundedQueue::new(queue_capacity),
@@ -84,6 +94,8 @@ impl OrchestraStack {
             last_tx: None,
             seq_next: 0,
             telemetry,
+            trace: TraceHandle::off(),
+            traced_parent: None,
             provision: Provision { slotframes, routing_config, queue_capacity, seed },
         }
     }
@@ -91,6 +103,60 @@ impl OrchestraStack {
     /// Harness telemetry.
     pub fn telemetry(&self) -> &StackTelemetry {
         &self.telemetry
+    }
+
+    /// Installs the flight-recorder handle (shared with the engine).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+        self.traced_parent = self.parent();
+        self.traced_rank = self.rank();
+    }
+
+    /// Records a rank change since the last recorded value.
+    fn trace_rank(&mut self, asn: Asn) {
+        if !self.trace.is_on() {
+            return;
+        }
+        let rank = self.routing.rank();
+        if rank != self.traced_rank {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::RankChange { old: Some(self.traced_rank.0), new: rank.0 },
+            );
+            self.traced_rank = rank;
+        }
+    }
+
+    /// Records the sender-based receive cell installed for a newly heard
+    /// neighbor.
+    fn trace_cell_alloc(&self, asn: Asn, child: NodeId) {
+        if self.trace.is_on() {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::CellAlloc {
+                    slot: self.scheduler.sbs_tx_slot(child),
+                    offset: digs_scheduling::slotframe::node_offset(child).0,
+                    child: child.0,
+                },
+            );
+        }
+    }
+
+    /// Records the release of a garbage-collected neighbor's receive cell.
+    fn trace_cell_release(&self, asn: Asn, child: NodeId) {
+        if self.trace.is_on() {
+            self.trace.record(
+                asn.0,
+                self.id.0,
+                EventKind::CellRelease {
+                    slot: self.scheduler.sbs_tx_slot(child),
+                    offset: digs_scheduling::slotframe::node_offset(child).0,
+                    child: child.0,
+                },
+            );
+        }
     }
 
     /// Current preferred parent.
@@ -130,6 +196,19 @@ impl OrchestraStack {
                     });
                 }
                 RoutingEvent::ParentsChanged { best, .. } => {
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::ParentSwitch {
+                                old_best: self.traced_parent.map(|n| n.0),
+                                new_best: best.map(|n| n.0),
+                                old_second: None,
+                                new_second: None,
+                            },
+                        );
+                        self.traced_parent = best;
+                    }
                     self.scheduler.set_parent(best);
                     self.telemetry.parent_changes.push(asn);
                     if self.telemetry.joined_at.is_none() && best.is_some() {
@@ -141,6 +220,7 @@ impl OrchestraStack {
                 }
             }
         }
+        self.trace_rank(asn);
     }
 
     fn generate_app_packets(&mut self, asn: Asn) {
@@ -155,8 +235,31 @@ impl OrchestraStack {
                 };
                 self.seq_next += 1;
                 *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::Generated { packet: trace_pid(&packet) },
+                    );
+                }
                 if !self.app_queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
                     self.telemetry.queue_drops += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueOverflow { packet: trace_pid(&packet) },
+                        );
+                    }
+                } else if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueEnq {
+                            packet: trace_pid(&packet),
+                            depth: self.app_queue.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -190,6 +293,7 @@ impl NodeStack for OrchestraStack {
             for id in stale {
                 self.child_last_seen.remove(&id);
                 self.scheduler.remove_child(id);
+                self.trace_cell_release(asn, id);
             }
         }
 
@@ -237,6 +341,7 @@ impl NodeStack for OrchestraStack {
             },
             CellAction::TxData { to, .. } => match self.app_queue.front() {
                 Some(item) => {
+                    let pid = trace_pid(&item.packet);
                     let payload = Payload::Data(item.packet);
                     self.last_tx = Some(LastTx::Data { to });
                     SlotIntent::Transmit {
@@ -247,7 +352,8 @@ impl NodeStack for OrchestraStack {
                             payload.frame_kind(),
                             payload.frame_size(),
                             payload,
-                        ),
+                        )
+                        .with_trace_id(pid),
                         contention: cell.contention,
                     }
                 }
@@ -282,7 +388,9 @@ impl NodeStack for OrchestraStack {
                     // overhead that made receiver-based cells Orchestra's
                     // default (SenSys'15, Section 4.3).
                     self.scheduler.add_child(frame.src);
-                    self.child_last_seen.insert(frame.src, asn);
+                    if self.child_last_seen.insert(frame.src, asn).is_none() {
+                        self.trace_cell_alloc(asn, frame.src);
+                    }
                 }
             }
             Payload::JoinIn(_) | Payload::JoinedCallback(_) => {}
@@ -292,14 +400,42 @@ impl NodeStack for OrchestraStack {
                 }
                 // Observed traffic keeps the child registration fresh.
                 self.scheduler.add_child(frame.src);
-                self.child_last_seen.insert(frame.src, asn);
+                if self.child_last_seen.insert(frame.src, asn).is_none() {
+                    self.trace_cell_alloc(asn, frame.src);
+                }
                 if self.is_ap {
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::Delivered {
+                                packet: trace_pid(packet),
+                                latency_slots: asn.0.saturating_sub(packet.generated_at.0),
+                            },
+                        );
+                    }
                     self.telemetry
                         .deliveries
                         .push(DeliveryRecord { packet: *packet, delivered_at: asn });
                 } else if !self.app_queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 })
                 {
                     self.telemetry.queue_drops += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueOverflow { packet: trace_pid(packet) },
+                        );
+                    }
+                } else if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueEnq {
+                            packet: trace_pid(packet),
+                            depth: self.app_queue.len() as u32,
+                        },
+                    );
                 }
             }
         }
@@ -318,6 +454,8 @@ impl NodeStack for OrchestraStack {
         self.child_last_seen.clear();
         self.synced_at = if self.is_ap { Some(asn) } else { None };
         self.last_tx = None;
+        self.traced_parent = None;
+        self.traced_rank = self.routing.rank();
     }
 
     fn desync(&mut self, _asn: Asn) {
@@ -361,7 +499,18 @@ impl NodeStack for OrchestraStack {
             },
             LastTx::Data { to } => match outcome {
                 TxOutcome::Acked => {
-                    self.app_queue.pop();
+                    if let Some(item) = self.app_queue.pop() {
+                        if self.trace.is_on() {
+                            self.trace.record(
+                                asn.0,
+                                self.id.0,
+                                EventKind::QueueDeq {
+                                    packet: trace_pid(&item.packet),
+                                    depth: self.app_queue.len() as u32,
+                                },
+                            );
+                        }
+                    }
                     self.telemetry.forwarded += 1;
                     let events = self.routing.on_tx_result(to, true, asn);
                     self.process_routing_events(events, asn);
@@ -371,6 +520,13 @@ impl NodeStack for OrchestraStack {
                         item.failed_attempts = item.failed_attempts.saturating_add(1);
                         if item.failed_attempts >= MAX_DATA_RETRIES {
                             self.telemetry.retry_drops += 1;
+                            if self.trace.is_on() {
+                                self.trace.record(
+                                    asn.0,
+                                    self.id.0,
+                                    EventKind::RetryDrop { packet: trace_pid(&item.packet) },
+                                );
+                            }
                         } else {
                             let mut rest: Vec<QueuedPacket> =
                                 Vec::with_capacity(self.app_queue.len());

@@ -10,7 +10,7 @@
 //! predictable — and why it cannot adapt until the manager completes a
 //! full update cycle (the Fig. 3 cost).
 
-use super::{DeliveryRecord, QueuedPacket, StackTelemetry};
+use super::{trace_pid, DeliveryRecord, QueuedPacket, StackTelemetry};
 use crate::flows::FlowSpec;
 use crate::payload::{DataPacket, Payload};
 use crate::queue::BoundedQueue;
@@ -19,6 +19,7 @@ use digs_sim::ids::{FlowId, NodeId};
 use digs_sim::packet::{Dest, Frame};
 use digs_sim::rf::Dbm;
 use digs_sim::time::Asn;
+use digs_trace::{EventKind, TraceHandle};
 use digs_whart::schedule::CentralSchedule;
 use std::collections::BTreeMap;
 
@@ -55,6 +56,9 @@ pub struct WhartStack {
     last_tx: Option<FlowId>,
     seq_next: u32,
     telemetry: StackTelemetry,
+    /// Flight recorder (no-op unless [`WhartStack::set_trace`] installed a
+    /// live handle).
+    trace: TraceHandle,
 }
 
 impl WhartStack {
@@ -99,12 +103,18 @@ impl WhartStack {
             last_tx: None,
             seq_next: 0,
             telemetry,
+            trace: TraceHandle::off(),
         }
     }
 
     /// Harness telemetry.
     pub fn telemetry(&self) -> &StackTelemetry {
         &self.telemetry
+    }
+
+    /// Installs the flight-recorder handle (shared with the engine).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Installs a freshly disseminated schedule (the end of a manager
@@ -144,9 +154,30 @@ impl WhartStack {
                 };
                 self.seq_next += 1;
                 *self.telemetry.generated.entry(flow.id).or_insert(0) += 1;
+                if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::Generated { packet: trace_pid(&packet) },
+                    );
+                }
                 let queue = self.queues.get_mut(&flow.id).expect("own flow has a queue");
                 if !queue.push(QueuedPacket { packet, failed_attempts: 0 }) {
                     self.telemetry.queue_drops += 1;
+                    if self.trace.is_on() {
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueOverflow { packet: trace_pid(&packet) },
+                        );
+                    }
+                } else if self.trace.is_on() {
+                    let depth = self.queues[&flow.id].len() as u32;
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueEnq { packet: trace_pid(&packet), depth },
+                    );
                 }
             }
         }
@@ -170,6 +201,7 @@ impl NodeStack for WhartStack {
                 match queue.front() {
                     None => SlotIntent::Sleep,
                     Some(item) => {
+                        let pid = trace_pid(&item.packet);
                         let payload = Payload::Data(item.packet);
                         self.last_tx = Some(*flow);
                         SlotIntent::Transmit {
@@ -180,7 +212,8 @@ impl NodeStack for WhartStack {
                                 payload.frame_kind(),
                                 payload.frame_size(),
                                 payload,
-                            ),
+                            )
+                            .with_trace_id(pid),
                             contention: false,
                         }
                     }
@@ -197,10 +230,34 @@ impl NodeStack for WhartStack {
             return;
         }
         if self.is_ap {
+            if self.trace.is_on() {
+                self.trace.record(
+                    asn.0,
+                    self.id.0,
+                    EventKind::Delivered {
+                        packet: trace_pid(packet),
+                        latency_slots: asn.0.saturating_sub(packet.generated_at.0),
+                    },
+                );
+            }
             self.telemetry.deliveries.push(DeliveryRecord { packet: *packet, delivered_at: asn });
         } else if let Some(queue) = self.queues.get_mut(&packet.flow) {
             if !queue.push(QueuedPacket { packet: *packet, failed_attempts: 0 }) {
                 self.telemetry.queue_drops += 1;
+                if self.trace.is_on() {
+                    self.trace.record(
+                        asn.0,
+                        self.id.0,
+                        EventKind::QueueOverflow { packet: trace_pid(packet) },
+                    );
+                }
+            } else if self.trace.is_on() {
+                let depth = self.queues[&packet.flow].len() as u32;
+                self.trace.record(
+                    asn.0,
+                    self.id.0,
+                    EventKind::QueueEnq { packet: trace_pid(packet), depth },
+                );
             }
         }
     }
@@ -224,7 +281,7 @@ impl NodeStack for WhartStack {
         self.last_tx = None;
     }
 
-    fn on_tx_outcome(&mut self, _asn: Asn, outcome: TxOutcome) {
+    fn on_tx_outcome(&mut self, asn: Asn, outcome: TxOutcome) {
         let Some(flow) = self.last_tx.take() else {
             return;
         };
@@ -233,7 +290,16 @@ impl NodeStack for WhartStack {
         };
         match outcome {
             TxOutcome::Acked => {
-                queue.pop();
+                if let Some(item) = queue.pop() {
+                    if self.trace.is_on() {
+                        let depth = queue.len() as u32;
+                        self.trace.record(
+                            asn.0,
+                            self.id.0,
+                            EventKind::QueueDeq { packet: trace_pid(&item.packet), depth },
+                        );
+                    }
+                }
                 self.telemetry.forwarded += 1;
             }
             TxOutcome::NoAck => {
@@ -244,6 +310,13 @@ impl NodeStack for WhartStack {
                     item.failed_attempts = item.failed_attempts.saturating_add(1);
                     if item.failed_attempts >= 6 {
                         self.telemetry.retry_drops += 1;
+                        if self.trace.is_on() {
+                            self.trace.record(
+                                asn.0,
+                                self.id.0,
+                                EventKind::RetryDrop { packet: trace_pid(&item.packet) },
+                            );
+                        }
                     } else {
                         let mut rest = Vec::with_capacity(queue.len());
                         while let Some(p) = queue.pop() {

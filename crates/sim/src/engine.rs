@@ -32,6 +32,7 @@ use crate::rng;
 use crate::time::Asn;
 use crate::topology::Topology;
 use crate::trace::EngineStats;
+use digs_trace::{DropReason, EventKind, TraceHandle};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -134,6 +135,8 @@ pub struct Engine {
     /// fired yet (an overlapping outage can keep a node down past the end of
     /// its reboot window; the reset fires at the first slot it is alive).
     pending_reset: Vec<bool>,
+    /// Flight recorder; off by default (one branch per potential event).
+    trace: TraceHandle,
 }
 
 impl Engine {
@@ -153,7 +156,19 @@ impl Engine {
             energy: vec![EnergyMeter::new(); n],
             stats: EngineStats::default(),
             pending_reset: vec![false; n],
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Installs a flight-recorder handle (pass [`TraceHandle::off`] to
+    /// disable tracing again).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The flight-recorder handle (clone it to share with stacks).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The simulated topology.
@@ -233,6 +248,18 @@ impl Engine {
         assert_eq!(stacks.len(), n, "one stack per topology node required");
         let asn = self.asn;
         let rf = self.link.rf().clone();
+        let tracing = self.trace.is_on();
+        if tracing {
+            self.trace.record_network(asn.0, EventKind::SlotStart);
+            for (node, fault, peer, injected) in self.faults.transitions_at(asn) {
+                let kind = if injected {
+                    EventKind::FaultInject { fault, peer: peer.map(|p| p.0) }
+                } else {
+                    EventKind::FaultClear { fault, peer: peer.map(|p| p.0) }
+                };
+                self.trace.record(asn.0, node.0, kind);
+            }
+        }
 
         // Phase 1: collect intents from alive nodes.
         let mut listeners: Vec<(NodeId, ChannelOffset)> = Vec::new();
@@ -248,9 +275,15 @@ impl Engine {
             }
             if self.pending_reset[i] {
                 self.pending_reset[i] = false;
+                if tracing {
+                    self.trace.record(asn.0, id.0, EventKind::NodeReset);
+                }
                 stack.reset(asn);
             }
             if self.faults.has_desyncs() && self.faults.desync_at(id, asn) {
+                if tracing {
+                    self.trace.record(asn.0, id.0, EventKind::ClockDesync);
+                }
                 stack.desync(asn);
             }
             self.energy[i].tick_slot();
@@ -272,9 +305,11 @@ impl Engine {
         // unconditionally; shared cells run CSMA/CA in a random order.
         let mut committed: Vec<CommittedTx<S::Payload>> = Vec::new();
         let mut committed_channels = Vec::new();
+        let mut committed_contention = Vec::new();
         let mut deferred: Vec<NodeId> = Vec::new();
         for (id, offset, frame) in dedicated {
             committed_channels.push(offset.hop(asn));
+            committed_contention.push(false);
             committed.push(CommittedTx { node: id, frame });
         }
         // Random backoff order, deterministic under the engine seed.
@@ -300,11 +335,15 @@ impl Engine {
             if busy {
                 deferred.push(id);
                 self.stats.cca_deferrals += 1;
+                if tracing {
+                    self.trace.record(asn.0, id.0, EventKind::CcaDefer);
+                }
                 // A deferring node keeps its radio in RX for the rest of
                 // the slot — it hears the winning frame like any listener.
                 listeners.push((id, offset));
             } else {
                 committed_channels.push(ch);
+                committed_contention.push(true);
                 committed.push(CommittedTx { node: id, frame });
             }
         }
@@ -400,6 +439,18 @@ impl Engine {
         // Phase 5: callbacks — deliveries first, then outcomes, in id order.
         deliveries.sort_by_key(|(rx, _, _)| *rx);
         for (rx_id, k, rss) in &deliveries {
+            if tracing {
+                let frame = &committed[*k].frame;
+                self.trace.record(
+                    asn.0,
+                    rx_id.0,
+                    EventKind::Rx {
+                        src: frame.src.0,
+                        class: frame.kind.traffic_class(),
+                        packet: frame.trace_id,
+                    },
+                );
+            }
             stacks[rx_id.index()].on_frame(asn, &committed[*k].frame, *rss);
         }
         for (k, tx) in committed.iter().enumerate() {
@@ -410,6 +461,58 @@ impl Engine {
             } else {
                 TxOutcome::NoAck
             };
+            if tracing {
+                let dst = match tx.frame.dst {
+                    crate::packet::Dest::Unicast(d) => Some(d.0),
+                    crate::packet::Dest::Broadcast => None,
+                };
+                self.trace.record(
+                    asn.0,
+                    tx.node.0,
+                    EventKind::Tx {
+                        dst,
+                        class: tx.frame.kind.traffic_class(),
+                        channel: committed_channels[k].0,
+                        contention: committed_contention[k],
+                        packet: tx.frame.trace_id,
+                    },
+                );
+                match (outcome, dst) {
+                    (TxOutcome::Acked, Some(d)) => {
+                        self.trace.record(
+                            asn.0,
+                            tx.node.0,
+                            EventKind::Ack { dst: d, packet: tx.frame.trace_id },
+                        );
+                    }
+                    (TxOutcome::NoAck, Some(d)) => {
+                        // Diagnose the loss: the frame was decoded by the
+                        // addressee but the ACK died on the way back; the
+                        // destination never had its radio on this channel;
+                        // or the frame itself was lost on the air.
+                        let decoded_by_dst =
+                            deliveries.iter().any(|(rx, kk, _)| *kk == k && rx.0 == d);
+                        let reason = if decoded_by_dst {
+                            DropReason::AckLost
+                        } else {
+                            let ch = committed_channels[k];
+                            let dst_listening =
+                                listeners.iter().any(|(id, off)| id.0 == d && off.hop(asn) == ch);
+                            if dst_listening {
+                                DropReason::FrameLost
+                            } else {
+                                DropReason::NoListener
+                            }
+                        };
+                        self.trace.record(
+                            asn.0,
+                            tx.node.0,
+                            EventKind::Nack { dst: d, reason, packet: tx.frame.trace_id },
+                        );
+                    }
+                    _ => {}
+                }
+            }
             stacks[tx.node.index()].on_tx_outcome(asn, outcome);
         }
         for id in deferred {
@@ -738,6 +841,62 @@ mod tests {
         assert_eq!(stacks[0].desyncs, vec![4]);
         assert!(stacks[1].desyncs.is_empty());
         assert!(stacks[0].resets.is_empty());
+    }
+
+    #[test]
+    fn traced_slot_records_tx_rx_ack() {
+        let topo = two_node_topology(5.0);
+        let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+        let trace = TraceHandle::bounded(64);
+        engine.set_trace(trace.clone());
+        let mut stacks = vec![TestStack::default(), TestStack::default()];
+        stacks[1].plan.insert(0, tx_intent(1, Some(0), 42, false));
+        stacks[0].plan.insert(0, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+        engine.step(&mut stacks);
+        let events = trace.events();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"slot"), "{names:?}");
+        assert!(names.contains(&"tx"), "{names:?}");
+        assert!(names.contains(&"rx"), "{names:?}");
+        assert!(names.contains(&"ack"), "{names:?}");
+    }
+
+    #[test]
+    fn traced_fault_boundaries_and_reset_are_recorded() {
+        use crate::fault::Reboot;
+        let topo = two_node_topology(5.0);
+        let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+        engine.set_fault_plan(FaultPlan::none().with_reboot(Reboot::new(
+            NodeId(1),
+            Asn(1),
+            Asn(3),
+        )));
+        let trace = TraceHandle::bounded(64);
+        engine.set_trace(trace.clone());
+        let mut stacks = vec![TestStack::default(), TestStack::default()];
+        engine.run(&mut stacks, 5);
+        let node1: Vec<&str> =
+            trace.node_events(1).iter().map(|e| e.kind.name()).collect::<Vec<_>>();
+        assert_eq!(node1, vec!["fault-inject", "fault-clear", "node-reset"], "{node1:?}");
+    }
+
+    #[test]
+    fn untraced_engine_matches_traced_engine_results() {
+        let run = |traced: bool| {
+            let topo = two_node_topology(5.0);
+            let mut engine = Engine::new(topo, RfConfig::deterministic(), 7);
+            if traced {
+                engine.set_trace(TraceHandle::bounded(16));
+            }
+            let mut stacks = vec![TestStack::default(), TestStack::default()];
+            for asn in 0..20u64 {
+                stacks[1].plan.insert(asn, tx_intent(1, Some(0), asn as u32, false));
+                stacks[0].plan.insert(asn, SlotIntent::Listen { offset: ChannelOffset::new(0) });
+            }
+            engine.run(&mut stacks, 20);
+            (stacks[0].received.len(), engine.stats().total_transmitted())
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb the simulation");
     }
 
     #[test]

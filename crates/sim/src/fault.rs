@@ -274,6 +274,47 @@ impl FaultPlan {
         &self.desyncs
     }
 
+    /// Fault boundaries crossing exactly `asn`, for the flight recorder:
+    /// each entry is `(node, kind, peer, injected)` where `injected` is
+    /// `true` at fault onset and `false` at clearance. Link outages report
+    /// one entry per endpoint with the other endpoint as `peer`. Desyncs
+    /// are not reported here — the engine records them at the stack
+    /// callback. Permanent faults never produce a clearance entry.
+    pub fn transitions_at(
+        &self,
+        asn: Asn,
+    ) -> Vec<(NodeId, digs_trace::FaultKind, Option<NodeId>, bool)> {
+        use digs_trace::FaultKind;
+        let mut out = Vec::new();
+        for o in &self.outages {
+            if o.from == asn {
+                out.push((o.node, FaultKind::Outage, None, true));
+            }
+            if o.until == Some(asn) {
+                out.push((o.node, FaultKind::Outage, None, false));
+            }
+        }
+        for r in &self.reboots {
+            if r.from == asn {
+                out.push((r.node, FaultKind::Reboot, None, true));
+            }
+            if r.until == asn {
+                out.push((r.node, FaultKind::Reboot, None, false));
+            }
+        }
+        for l in &self.link_outages {
+            if l.from == asn {
+                out.push((l.a, FaultKind::LinkOutage, Some(l.b), true));
+                out.push((l.b, FaultKind::LinkOutage, Some(l.a), true));
+            }
+            if l.until == Some(asn) {
+                out.push((l.a, FaultKind::LinkOutage, Some(l.b), false));
+                out.push((l.b, FaultKind::LinkOutage, Some(l.a), false));
+            }
+        }
+        out
+    }
+
     /// The paper's Fig. 11 scenario: turn off the given nodes *in turn*,
     /// each for `each_secs` seconds, starting at `start`, one after another.
     pub fn in_turn(nodes: &[NodeId], start: Asn, each_secs: u64) -> FaultPlan {

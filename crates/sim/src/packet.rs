@@ -55,6 +55,18 @@ pub enum FrameKind {
     Management,
 }
 
+impl FrameKind {
+    /// The flight-recorder traffic class of this frame kind.
+    pub fn traffic_class(self) -> digs_trace::TrafficClass {
+        match self {
+            FrameKind::Beacon => digs_trace::TrafficClass::Beacon,
+            FrameKind::Routing => digs_trace::TrafficClass::Routing,
+            FrameKind::Data => digs_trace::TrafficClass::Data,
+            FrameKind::Management => digs_trace::TrafficClass::Management,
+        }
+    }
+}
+
 impl fmt::Display for FrameKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -81,13 +93,24 @@ pub struct Frame<P> {
     pub size_bytes: u16,
     /// Protocol payload.
     pub payload: P,
+    /// Flight-recorder identity of the application packet this frame
+    /// carries, if any. The engine is payload-agnostic; stacks set this on
+    /// data frames so TX/RX/ACK trace events can be attributed to an
+    /// end-to-end packet journey. `None` costs nothing when tracing is off.
+    pub trace_id: Option<digs_trace::PacketId>,
 }
 
 impl<P> Frame<P> {
     /// Creates a frame, clamping the size to the 802.15.4 maximum of 127
     /// bytes and a minimum of the 23-byte MAC overhead.
     pub fn new(src: NodeId, dst: Dest, kind: FrameKind, size_bytes: u16, payload: P) -> Frame<P> {
-        Frame { src, dst, kind, size_bytes: size_bytes.clamp(23, 127), payload }
+        Frame { src, dst, kind, size_bytes: size_bytes.clamp(23, 127), payload, trace_id: None }
+    }
+
+    /// Attaches a flight-recorder packet identity (builder style).
+    pub fn with_trace_id(mut self, id: digs_trace::PacketId) -> Frame<P> {
+        self.trace_id = Some(id);
+        self
     }
 
     /// Airtime of the frame in microseconds at the 802.15.4 rate of

@@ -1,0 +1,502 @@
+//! The typed flight-recorder event model.
+//!
+//! Events use raw integer identifiers (`u16` nodes, `u64` ASNs) rather than
+//! the simulator's newtypes so this crate stays a leaf: `digs-sim` depends
+//! on `digs-trace`, not the other way around. Call sites convert with
+//! `NodeId::0` / `Asn::0` at the recording boundary.
+
+use core::fmt;
+
+/// Sentinel node id for network-scoped events (slot boundaries, audit
+/// violations attributed to the run rather than a device).
+pub const NETWORK_NODE: u16 = u16::MAX;
+
+/// End-to-end identity of one application data packet, stable across hops.
+///
+/// Mirrors the `DataPacket` key used by the harness for delivery dedup:
+/// `(flow, seq, origin)` uniquely names a generated packet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct PacketId {
+    /// Flow the packet belongs to.
+    pub flow: u16,
+    /// Per-origin sequence number.
+    pub seq: u32,
+    /// Originating node.
+    pub origin: u16,
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}/{}@#{}", self.flow, self.seq, self.origin)
+    }
+}
+
+/// Coarse traffic class of a frame, mirroring `digs_sim::packet::FrameKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TrafficClass {
+    /// Enhanced Beacon (time synchronization).
+    Beacon,
+    /// Routing signalling.
+    Routing,
+    /// Application data.
+    Data,
+    /// Centralized manager dissemination.
+    Management,
+}
+
+impl TrafficClass {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficClass::Beacon => "beacon",
+            TrafficClass::Routing => "routing",
+            TrafficClass::Data => "data",
+            TrafficClass::Management => "mgmt",
+        }
+    }
+
+    /// Parses a wire name produced by [`TrafficClass::as_str`].
+    pub fn parse(s: &str) -> Option<TrafficClass> {
+        Some(match s {
+            "beacon" => TrafficClass::Beacon,
+            "routing" => TrafficClass::Routing,
+            "data" => TrafficClass::Data,
+            "mgmt" => TrafficClass::Management,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a unicast transmission went unacknowledged or a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DropReason {
+    /// The bounded queue was full on enqueue.
+    QueueOverflow,
+    /// The per-hop retransmission budget was exhausted.
+    RetryBudget,
+    /// The destination was not listening on the frame's channel.
+    NoListener,
+    /// The frame itself was lost on the air (CRC failure / collision / jam).
+    FrameLost,
+    /// The frame was decoded but the acknowledgement was lost on the way
+    /// back.
+    AckLost,
+}
+
+impl DropReason {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue-overflow",
+            DropReason::RetryBudget => "retry-budget",
+            DropReason::NoListener => "no-listener",
+            DropReason::FrameLost => "frame-lost",
+            DropReason::AckLost => "ack-lost",
+        }
+    }
+
+    /// Parses a wire name produced by [`DropReason::as_str`].
+    pub fn parse(s: &str) -> Option<DropReason> {
+        Some(match s {
+            "queue-overflow" => DropReason::QueueOverflow,
+            "retry-budget" => DropReason::RetryBudget,
+            "no-listener" => DropReason::NoListener,
+            "frame-lost" => DropReason::FrameLost,
+            "ack-lost" => DropReason::AckLost,
+            _ => return None,
+        })
+    }
+}
+
+/// Which scripted fault hit or cleared (for [`EventKind::FaultInject`] /
+/// [`EventKind::FaultClear`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// Node outage (warm RAM state survives).
+    Outage,
+    /// Cold reboot (stack resets when the node returns).
+    Reboot,
+    /// Bidirectional link obstruction; `peer` names the other endpoint.
+    LinkOutage,
+}
+
+impl FaultKind {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Outage => "outage",
+            FaultKind::Reboot => "reboot",
+            FaultKind::LinkOutage => "link-outage",
+        }
+    }
+
+    /// Parses a wire name produced by [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "outage" => FaultKind::Outage,
+            "reboot" => FaultKind::Reboot,
+            "link-outage" => FaultKind::LinkOutage,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded flight-recorder event.
+///
+/// `seq` is a recorder-global monotone counter: sorting any merged event set
+/// by `seq` restores the exact order in which the (deterministic) simulation
+/// emitted them, which is what makes same-seed traces byte-identical.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Global emission order.
+    pub seq: u64,
+    /// Absolute slot number the event occurred in.
+    pub asn: u64,
+    /// Node the event is attributed to ([`NETWORK_NODE`] for run-scoped
+    /// events).
+    pub node: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Everything the flight recorder can log. See ISSUE/DESIGN §4.8 for the
+/// taxonomy rationale.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    /// Slot boundary marker (one per simulated slot, on [`NETWORK_NODE`]).
+    SlotStart,
+    /// A frame was committed to the air by this node.
+    Tx {
+        /// Unicast destination (`None` = broadcast).
+        dst: Option<u16>,
+        /// Traffic class.
+        class: TrafficClass,
+        /// Physical 802.15.4 channel index (0–15).
+        channel: u8,
+        /// Whether the slot was a shared (CSMA/CA) cell.
+        contention: bool,
+        /// Data-packet identity, when the frame carries application data.
+        packet: Option<PacketId>,
+    },
+    /// A frame from `src` was decoded by this node.
+    Rx {
+        /// Transmitting node.
+        src: u16,
+        /// Traffic class.
+        class: TrafficClass,
+        /// Data-packet identity, when the frame carries application data.
+        packet: Option<PacketId>,
+    },
+    /// This node's unicast to `dst` was acknowledged.
+    Ack {
+        /// Destination that acknowledged.
+        dst: u16,
+        /// Data-packet identity, if any.
+        packet: Option<PacketId>,
+    },
+    /// This node's unicast to `dst` went unacknowledged.
+    Nack {
+        /// Intended destination.
+        dst: u16,
+        /// Diagnosed cause.
+        reason: DropReason,
+        /// Data-packet identity, if any.
+        packet: Option<PacketId>,
+    },
+    /// CSMA/CA found the channel busy; the node deferred.
+    CcaDefer,
+    /// A packet entered this node's transmit queue.
+    QueueEnq {
+        /// The packet.
+        packet: PacketId,
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// A packet left this node's transmit queue (forwarded successfully).
+    QueueDeq {
+        /// The packet.
+        packet: PacketId,
+        /// Queue depth after the dequeue.
+        depth: u32,
+    },
+    /// The bounded queue rejected a packet.
+    QueueOverflow {
+        /// The rejected packet.
+        packet: PacketId,
+    },
+    /// A packet was dropped after exhausting its retransmission budget.
+    RetryDrop {
+        /// The dropped packet.
+        packet: PacketId,
+    },
+    /// An application packet was generated at its origin.
+    Generated {
+        /// The new packet.
+        packet: PacketId,
+    },
+    /// A packet reached an access point.
+    Delivered {
+        /// The delivered packet.
+        packet: PacketId,
+        /// End-to-end latency in slots.
+        latency_slots: u64,
+    },
+    /// The routing layer changed this node's parent set.
+    ParentSwitch {
+        /// Previous primary parent.
+        old_best: Option<u16>,
+        /// New primary parent.
+        new_best: Option<u16>,
+        /// Previous backup parent.
+        old_second: Option<u16>,
+        /// New backup parent.
+        new_second: Option<u16>,
+    },
+    /// This node's routing rank changed.
+    RankChange {
+        /// Previous rank (`None` before first join).
+        old: Option<u16>,
+        /// New rank.
+        new: u16,
+    },
+    /// A dedicated receive cell was provisioned for `child`.
+    CellAlloc {
+        /// Slot-in-slotframe of the cell.
+        slot: u32,
+        /// Channel offset of the cell.
+        offset: u8,
+        /// The transmitting child.
+        child: u16,
+    },
+    /// A dedicated receive cell for `child` was released.
+    CellRelease {
+        /// Slot-in-slotframe of the cell.
+        slot: u32,
+        /// Channel offset of the cell.
+        offset: u8,
+        /// The departing child.
+        child: u16,
+    },
+    /// A scripted fault hit this node (or link endpoint).
+    FaultInject {
+        /// Fault category.
+        fault: FaultKind,
+        /// Other endpoint for link outages.
+        peer: Option<u16>,
+    },
+    /// A scripted fault cleared.
+    FaultClear {
+        /// Fault category.
+        fault: FaultKind,
+        /// Other endpoint for link outages.
+        peer: Option<u16>,
+    },
+    /// The node cold-rebooted and its stack was factory-reset.
+    NodeReset,
+    /// The node's TSCH clock slipped past the guard time.
+    ClockDesync,
+    /// The runtime invariant auditor flagged a violation.
+    AuditViolation {
+        /// Invariant kind (display name of `digs::audit::InvariantKind`).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// The data-packet identity this event refers to, if any.
+    pub fn packet(&self) -> Option<PacketId> {
+        match self {
+            EventKind::Tx { packet, .. }
+            | EventKind::Rx { packet, .. }
+            | EventKind::Ack { packet, .. }
+            | EventKind::Nack { packet, .. } => *packet,
+            EventKind::QueueEnq { packet, .. }
+            | EventKind::QueueDeq { packet, .. }
+            | EventKind::QueueOverflow { packet }
+            | EventKind::RetryDrop { packet }
+            | EventKind::Generated { packet }
+            | EventKind::Delivered { packet, .. } => Some(*packet),
+            _ => None,
+        }
+    }
+
+    /// Stable wire name of the variant (the `"ev"` JSONL field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SlotStart => "slot",
+            EventKind::Tx { .. } => "tx",
+            EventKind::Rx { .. } => "rx",
+            EventKind::Ack { .. } => "ack",
+            EventKind::Nack { .. } => "nack",
+            EventKind::CcaDefer => "cca-defer",
+            EventKind::QueueEnq { .. } => "q-enq",
+            EventKind::QueueDeq { .. } => "q-deq",
+            EventKind::QueueOverflow { .. } => "q-overflow",
+            EventKind::RetryDrop { .. } => "retry-drop",
+            EventKind::Generated { .. } => "generated",
+            EventKind::Delivered { .. } => "delivered",
+            EventKind::ParentSwitch { .. } => "parent-switch",
+            EventKind::RankChange { .. } => "rank-change",
+            EventKind::CellAlloc { .. } => "cell-alloc",
+            EventKind::CellRelease { .. } => "cell-release",
+            EventKind::FaultInject { .. } => "fault-inject",
+            EventKind::FaultClear { .. } => "fault-clear",
+            EventKind::NodeReset => "node-reset",
+            EventKind::ClockDesync => "clock-desync",
+            EventKind::AuditViolation { .. } => "audit-violation",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == NETWORK_NODE {
+            write!(f, "[{:>8}] net {}", self.asn, self.kind.name())?;
+        } else {
+            write!(f, "[{:>8}] #{} {}", self.asn, self.node, self.kind.name())?;
+        }
+        match &self.kind {
+            EventKind::Tx { dst, class, channel, contention, packet } => {
+                match dst {
+                    Some(d) => write!(f, " →#{d}")?,
+                    None => write!(f, " →*")?,
+                }
+                write!(f, " {} ch{}", class.as_str(), channel)?;
+                if *contention {
+                    write!(f, " shared")?;
+                }
+                if let Some(p) = packet {
+                    write!(f, " {p}")?;
+                }
+            }
+            EventKind::Rx { src, class, packet } => {
+                write!(f, " ←#{src} {}", class.as_str())?;
+                if let Some(p) = packet {
+                    write!(f, " {p}")?;
+                }
+            }
+            EventKind::Ack { dst, packet } => {
+                write!(f, " by #{dst}")?;
+                if let Some(p) = packet {
+                    write!(f, " {p}")?;
+                }
+            }
+            EventKind::Nack { dst, reason, packet } => {
+                write!(f, " by #{dst} ({})", reason.as_str())?;
+                if let Some(p) = packet {
+                    write!(f, " {p}")?;
+                }
+            }
+            EventKind::QueueEnq { packet, depth } | EventKind::QueueDeq { packet, depth } => {
+                write!(f, " {packet} depth={depth}")?;
+            }
+            EventKind::QueueOverflow { packet }
+            | EventKind::RetryDrop { packet }
+            | EventKind::Generated { packet } => write!(f, " {packet}")?,
+            EventKind::Delivered { packet, latency_slots } => {
+                write!(f, " {packet} after {latency_slots} slots")?;
+            }
+            EventKind::ParentSwitch { old_best, new_best, old_second, new_second } => {
+                let opt = |v: &Option<u16>| match v {
+                    Some(n) => format!("#{n}"),
+                    None => "-".into(),
+                };
+                write!(
+                    f,
+                    " best {}→{} second {}→{}",
+                    opt(old_best),
+                    opt(new_best),
+                    opt(old_second),
+                    opt(new_second)
+                )?;
+            }
+            EventKind::RankChange { old, new } => match old {
+                Some(o) => write!(f, " {o}→{new}")?,
+                None => write!(f, " -→{new}")?,
+            },
+            EventKind::CellAlloc { slot, offset, child }
+            | EventKind::CellRelease { slot, offset, child } => {
+                write!(f, " slot={slot} off={offset} child=#{child}")?;
+            }
+            EventKind::FaultInject { fault, peer } | EventKind::FaultClear { fault, peer } => {
+                write!(f, " {}", fault.as_str())?;
+                if let Some(p) = peer {
+                    write!(f, " peer=#{p}")?;
+                }
+            }
+            EventKind::AuditViolation { kind, detail } => write!(f, " {kind}: {detail}")?,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for c in [
+            TrafficClass::Beacon,
+            TrafficClass::Routing,
+            TrafficClass::Data,
+            TrafficClass::Management,
+        ] {
+            assert_eq!(TrafficClass::parse(c.as_str()), Some(c));
+        }
+        for r in [
+            DropReason::QueueOverflow,
+            DropReason::RetryBudget,
+            DropReason::NoListener,
+            DropReason::FrameLost,
+            DropReason::AckLost,
+        ] {
+            assert_eq!(DropReason::parse(r.as_str()), Some(r));
+        }
+        for k in [FaultKind::Outage, FaultKind::Reboot, FaultKind::LinkOutage] {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(TrafficClass::parse("bogus"), None);
+    }
+
+    #[test]
+    fn packet_accessor_covers_data_events() {
+        let p = PacketId { flow: 1, seq: 2, origin: 3 };
+        assert_eq!(EventKind::Generated { packet: p }.packet(), Some(p));
+        assert_eq!(EventKind::SlotStart.packet(), None);
+        assert_eq!(
+            EventKind::Tx {
+                dst: Some(4),
+                class: TrafficClass::Data,
+                channel: 0,
+                contention: false,
+                packet: Some(p),
+            }
+            .packet(),
+            Some(p)
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event {
+            seq: 0,
+            asn: 120,
+            node: 7,
+            kind: EventKind::Nack {
+                dst: 3,
+                reason: DropReason::FrameLost,
+                packet: Some(PacketId { flow: 0, seq: 9, origin: 7 }),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("#7"), "{s}");
+        assert!(s.contains("frame-lost"), "{s}");
+        assert!(s.contains("flow0/9@#7"), "{s}");
+    }
+}

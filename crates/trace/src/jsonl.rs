@@ -1,0 +1,663 @@
+//! Deterministic JSONL (one JSON object per line) export and import.
+//!
+//! The encoder is hand-rolled with a fixed field order, so the same event
+//! stream always serializes to the same bytes — the property the
+//! determinism acceptance test pins down. The decoder is a tiny recursive
+//! JSON reader sufficient for the documents this module emits (objects,
+//! strings, unsigned integers, booleans).
+
+use crate::event::{DropReason, Event, EventKind, FaultKind, PacketId, TrafficClass};
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Error from [`from_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes events to JSONL, one event per line in input order.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for event in events {
+        write_event(&mut out, event);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document produced by [`to_jsonl`]. Blank lines are
+/// ignored.
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|message| ParseError { line: i + 1, message })?;
+        events.push(decode_event(&value).map_err(|message| ParseError { line: i + 1, message })?);
+    }
+    Ok(events)
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn write_event(out: &mut String, event: &Event) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"asn\":{},\"node\":{},\"ev\":\"{}\"",
+        event.seq,
+        event.asn,
+        event.node,
+        event.kind.name()
+    );
+    match &event.kind {
+        EventKind::SlotStart
+        | EventKind::CcaDefer
+        | EventKind::NodeReset
+        | EventKind::ClockDesync => {}
+        EventKind::Tx { dst, class, channel, contention, packet } => {
+            if let Some(d) = dst {
+                let _ = write!(out, ",\"dst\":{d}");
+            }
+            let _ = write!(out, ",\"class\":\"{}\",\"channel\":{channel}", class.as_str());
+            let _ = write!(out, ",\"contention\":{contention}");
+            write_opt_packet(out, packet);
+        }
+        EventKind::Rx { src, class, packet } => {
+            let _ = write!(out, ",\"src\":{src},\"class\":\"{}\"", class.as_str());
+            write_opt_packet(out, packet);
+        }
+        EventKind::Ack { dst, packet } => {
+            let _ = write!(out, ",\"dst\":{dst}");
+            write_opt_packet(out, packet);
+        }
+        EventKind::Nack { dst, reason, packet } => {
+            let _ = write!(out, ",\"dst\":{dst},\"reason\":\"{}\"", reason.as_str());
+            write_opt_packet(out, packet);
+        }
+        EventKind::QueueEnq { packet, depth } | EventKind::QueueDeq { packet, depth } => {
+            write_packet(out, packet);
+            let _ = write!(out, ",\"depth\":{depth}");
+        }
+        EventKind::QueueOverflow { packet }
+        | EventKind::RetryDrop { packet }
+        | EventKind::Generated { packet } => write_packet(out, packet),
+        EventKind::Delivered { packet, latency_slots } => {
+            write_packet(out, packet);
+            let _ = write!(out, ",\"latency\":{latency_slots}");
+        }
+        EventKind::ParentSwitch { old_best, new_best, old_second, new_second } => {
+            write_opt_u16(out, "old_best", old_best);
+            write_opt_u16(out, "new_best", new_best);
+            write_opt_u16(out, "old_second", old_second);
+            write_opt_u16(out, "new_second", new_second);
+        }
+        EventKind::RankChange { old, new } => {
+            write_opt_u16(out, "old", old);
+            let _ = write!(out, ",\"new\":{new}");
+        }
+        EventKind::CellAlloc { slot, offset, child }
+        | EventKind::CellRelease { slot, offset, child } => {
+            let _ = write!(out, ",\"slot\":{slot},\"offset\":{offset},\"child\":{child}");
+        }
+        EventKind::FaultInject { fault, peer } | EventKind::FaultClear { fault, peer } => {
+            let _ = write!(out, ",\"fault\":\"{}\"", fault.as_str());
+            write_opt_u16(out, "peer", peer);
+        }
+        EventKind::AuditViolation { kind, detail } => {
+            out.push_str(",\"kind\":");
+            write_json_string(out, kind);
+            out.push_str(",\"detail\":");
+            write_json_string(out, detail);
+        }
+    }
+    out.push('}');
+}
+
+fn write_opt_u16(out: &mut String, key: &str, value: &Option<u16>) {
+    use std::fmt::Write;
+    if let Some(v) = value {
+        let _ = write!(out, ",\"{key}\":{v}");
+    }
+}
+
+fn write_packet(out: &mut String, p: &PacketId) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        ",\"packet\":{{\"flow\":{},\"seq\":{},\"origin\":{}}}",
+        p.flow, p.seq, p.origin
+    );
+}
+
+fn write_opt_packet(out: &mut String, p: &Option<PacketId>) {
+    if let Some(p) = p {
+        write_packet(out, p);
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Minimal JSON value: only what [`to_jsonl`] emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Object(BTreeMap<String, Value>),
+    String(String),
+    Number(u64),
+    Bool(bool),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!("expected '{}', found {:?}", b as char, other.map(|c| c as char))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected token {:?}", other.map(|c| c as char))),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal, expected {text}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                other => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if other < 0x80 {
+                        s.push(other as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match other {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk =
+                            self.bytes.get(start..start + width).ok_or("truncated UTF-8")?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<u64>().map(Value::Number).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_json(line: &str) -> Result<Value, String> {
+    let mut reader = Reader { bytes: line.as_bytes(), pos: 0 };
+    let value = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err("trailing characters after JSON value".into());
+    }
+    Ok(value)
+}
+
+impl Value {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Value, String> {
+        match self {
+            Value::Object(map) => map.get(key).ok_or_else(|| format!("missing field \"{key}\"")),
+            _ => Err("not an object".into()),
+        }
+    }
+
+    fn opt_field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            _ => Err("expected number".into()),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err("expected bool".into()),
+        }
+    }
+}
+
+fn num_u16(value: &Value, key: &str) -> Result<u16, String> {
+    let n = value.field(key)?.as_u64()?;
+    u16::try_from(n).map_err(|_| format!("\"{key}\" out of u16 range"))
+}
+
+fn opt_u16(value: &Value, key: &str) -> Result<Option<u16>, String> {
+    match value.opt_field(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v.as_u64()?;
+            u16::try_from(n).map(Some).map_err(|_| format!("\"{key}\" out of u16 range"))
+        }
+    }
+}
+
+fn packet_field(value: &Value) -> Result<PacketId, String> {
+    let p = value.field("packet")?;
+    Ok(PacketId {
+        flow: num_u16(p, "flow")?,
+        seq: u32::try_from(p.field("seq")?.as_u64()?).map_err(|_| "packet seq out of range")?,
+        origin: num_u16(p, "origin")?,
+    })
+}
+
+fn opt_packet_field(value: &Value) -> Result<Option<PacketId>, String> {
+    if value.opt_field("packet").is_none() {
+        return Ok(None);
+    }
+    packet_field(value).map(Some)
+}
+
+fn class_field(value: &Value) -> Result<TrafficClass, String> {
+    let s = value.field("class")?.as_str()?;
+    TrafficClass::parse(s).ok_or_else(|| format!("unknown traffic class \"{s}\""))
+}
+
+fn decode_event(value: &Value) -> Result<Event, String> {
+    let seq = value.field("seq")?.as_u64()?;
+    let asn = value.field("asn")?.as_u64()?;
+    let node = num_u16(value, "node")?;
+    let ev = value.field("ev")?.as_str()?;
+    let kind = match ev {
+        "slot" => EventKind::SlotStart,
+        "cca-defer" => EventKind::CcaDefer,
+        "node-reset" => EventKind::NodeReset,
+        "clock-desync" => EventKind::ClockDesync,
+        "tx" => EventKind::Tx {
+            dst: opt_u16(value, "dst")?,
+            class: class_field(value)?,
+            channel: u8::try_from(value.field("channel")?.as_u64()?)
+                .map_err(|_| "channel out of range")?,
+            contention: value.field("contention")?.as_bool()?,
+            packet: opt_packet_field(value)?,
+        },
+        "rx" => EventKind::Rx {
+            src: num_u16(value, "src")?,
+            class: class_field(value)?,
+            packet: opt_packet_field(value)?,
+        },
+        "ack" => EventKind::Ack { dst: num_u16(value, "dst")?, packet: opt_packet_field(value)? },
+        "nack" => {
+            let s = value.field("reason")?.as_str()?;
+            EventKind::Nack {
+                dst: num_u16(value, "dst")?,
+                reason: DropReason::parse(s).ok_or_else(|| format!("unknown reason \"{s}\""))?,
+                packet: opt_packet_field(value)?,
+            }
+        }
+        "q-enq" => EventKind::QueueEnq {
+            packet: packet_field(value)?,
+            depth: u32::try_from(value.field("depth")?.as_u64()?)
+                .map_err(|_| "depth out of range")?,
+        },
+        "q-deq" => EventKind::QueueDeq {
+            packet: packet_field(value)?,
+            depth: u32::try_from(value.field("depth")?.as_u64()?)
+                .map_err(|_| "depth out of range")?,
+        },
+        "q-overflow" => EventKind::QueueOverflow { packet: packet_field(value)? },
+        "retry-drop" => EventKind::RetryDrop { packet: packet_field(value)? },
+        "generated" => EventKind::Generated { packet: packet_field(value)? },
+        "delivered" => EventKind::Delivered {
+            packet: packet_field(value)?,
+            latency_slots: value.field("latency")?.as_u64()?,
+        },
+        "parent-switch" => EventKind::ParentSwitch {
+            old_best: opt_u16(value, "old_best")?,
+            new_best: opt_u16(value, "new_best")?,
+            old_second: opt_u16(value, "old_second")?,
+            new_second: opt_u16(value, "new_second")?,
+        },
+        "rank-change" => {
+            EventKind::RankChange { old: opt_u16(value, "old")?, new: num_u16(value, "new")? }
+        }
+        "cell-alloc" | "cell-release" => {
+            let slot =
+                u32::try_from(value.field("slot")?.as_u64()?).map_err(|_| "slot out of range")?;
+            let offset = u8::try_from(value.field("offset")?.as_u64()?)
+                .map_err(|_| "offset out of range")?;
+            let child = num_u16(value, "child")?;
+            if ev == "cell-alloc" {
+                EventKind::CellAlloc { slot, offset, child }
+            } else {
+                EventKind::CellRelease { slot, offset, child }
+            }
+        }
+        "fault-inject" | "fault-clear" => {
+            let s = value.field("fault")?.as_str()?;
+            let fault = FaultKind::parse(s).ok_or_else(|| format!("unknown fault kind \"{s}\""))?;
+            let peer = opt_u16(value, "peer")?;
+            if ev == "fault-inject" {
+                EventKind::FaultInject { fault, peer }
+            } else {
+                EventKind::FaultClear { fault, peer }
+            }
+        }
+        "audit-violation" => EventKind::AuditViolation {
+            kind: value.field("kind")?.as_str()?.to_owned(),
+            detail: value.field("detail")?.as_str()?.to_owned(),
+        },
+        other => return Err(format!("unknown event name \"{other}\"")),
+    };
+    Ok(Event { seq, asn, node, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let p = PacketId { flow: 2, seq: 17, origin: 9 };
+        vec![
+            Event {
+                seq: 0,
+                asn: 100,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::SlotStart,
+            },
+            Event { seq: 1, asn: 100, node: 9, kind: EventKind::Generated { packet: p } },
+            Event { seq: 2, asn: 100, node: 9, kind: EventKind::QueueEnq { packet: p, depth: 1 } },
+            Event {
+                seq: 3,
+                asn: 104,
+                node: 9,
+                kind: EventKind::Tx {
+                    dst: Some(4),
+                    class: TrafficClass::Data,
+                    channel: 11,
+                    contention: false,
+                    packet: Some(p),
+                },
+            },
+            Event {
+                seq: 4,
+                asn: 104,
+                node: 9,
+                kind: EventKind::Nack { dst: 4, reason: DropReason::FrameLost, packet: Some(p) },
+            },
+            Event { seq: 5, asn: 105, node: 9, kind: EventKind::CcaDefer },
+            Event {
+                seq: 6,
+                asn: 110,
+                node: 4,
+                kind: EventKind::Rx { src: 9, class: TrafficClass::Data, packet: Some(p) },
+            },
+            Event { seq: 7, asn: 110, node: 9, kind: EventKind::Ack { dst: 4, packet: Some(p) } },
+            Event { seq: 8, asn: 110, node: 9, kind: EventKind::QueueDeq { packet: p, depth: 0 } },
+            Event {
+                seq: 9,
+                asn: 111,
+                node: 7,
+                kind: EventKind::ParentSwitch {
+                    old_best: Some(4),
+                    new_best: Some(5),
+                    old_second: None,
+                    new_second: Some(4),
+                },
+            },
+            Event { seq: 10, asn: 111, node: 7, kind: EventKind::RankChange { old: None, new: 3 } },
+            Event {
+                seq: 11,
+                asn: 112,
+                node: 5,
+                kind: EventKind::CellAlloc { slot: 31, offset: 2, child: 7 },
+            },
+            Event {
+                seq: 12,
+                asn: 113,
+                node: 5,
+                kind: EventKind::CellRelease { slot: 31, offset: 2, child: 7 },
+            },
+            Event {
+                seq: 13,
+                asn: 120,
+                node: 6,
+                kind: EventKind::FaultInject { fault: FaultKind::LinkOutage, peer: Some(2) },
+            },
+            Event {
+                seq: 14,
+                asn: 140,
+                node: 6,
+                kind: EventKind::FaultClear { fault: FaultKind::LinkOutage, peer: Some(2) },
+            },
+            Event { seq: 15, asn: 141, node: 6, kind: EventKind::NodeReset },
+            Event { seq: 16, asn: 142, node: 6, kind: EventKind::ClockDesync },
+            Event {
+                seq: 17,
+                asn: 150,
+                node: 0,
+                kind: EventKind::Delivered { packet: p, latency_slots: 50 },
+            },
+            Event { seq: 18, asn: 151, node: 9, kind: EventKind::QueueOverflow { packet: p } },
+            Event { seq: 19, asn: 152, node: 9, kind: EventKind::RetryDrop { packet: p } },
+            Event {
+                seq: 20,
+                asn: 160,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::AuditViolation {
+                    kind: "routing-loop".into(),
+                    detail: "cycle #1 → #2 → \"#1\"\nwith newline\ttab".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_variant() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let back = from_jsonl(&text).expect("parse back");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let events = sample_events();
+        assert_eq!(to_jsonl(&events), to_jsonl(&events));
+    }
+
+    #[test]
+    fn one_line_per_event() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let events = sample_events();
+        let mut text = to_jsonl(&events);
+        text.push('\n');
+        text.insert(0, '\n');
+        assert_eq!(from_jsonl(&text).unwrap().len(), events.len());
+    }
+
+    #[test]
+    fn garbage_reports_line_number() {
+        let err =
+            from_jsonl("{\"seq\":0,\"asn\":0,\"node\":1,\"ev\":\"slot\"}\nnot json").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_event_name_is_an_error() {
+        let err = from_jsonl("{\"seq\":0,\"asn\":0,\"node\":1,\"ev\":\"warp\"}").unwrap_err();
+        assert!(err.message.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let events = vec![Event {
+            seq: 0,
+            asn: 1,
+            node: 2,
+            kind: EventKind::AuditViolation {
+                kind: "x".into(),
+                detail: "quote \" backslash \\ control \u{1} unicode é".into(),
+            },
+        }];
+        let back = from_jsonl(&to_jsonl(&events)).unwrap();
+        assert_eq!(back, events);
+    }
+}

@@ -1,0 +1,274 @@
+//! Recorders and the cloneable [`TraceHandle`] threaded through the engine
+//! and protocol stacks.
+//!
+//! Tracing is off by default: a disabled handle is `None` inside, so every
+//! instrumentation site pays exactly one null check (`is_on`) per potential
+//! event. When enabled, events go into bounded per-node ring buffers
+//! ([`RingRecorder`]) with a recorder-global sequence number that fixes the
+//! total emission order.
+
+use crate::event::{Event, EventKind, NETWORK_NODE};
+use crate::ring::RingBuffer;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Environment variable selecting the per-node ring capacity. Unset, `0`,
+/// or unparsable means tracing stays off.
+pub const TRACE_CAP_ENV: &str = "DIGS_TRACE_CAP";
+
+/// Default per-node ring capacity when tracing is enabled programmatically
+/// without an explicit capacity.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Sink for flight-recorder events.
+pub trait Recorder: std::fmt::Debug + Send {
+    /// Stores one event.
+    fn record(&mut self, event: Event);
+
+    /// Whether recording is active (call sites may skip event construction
+    /// entirely when this is `false`).
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The always-off recorder: discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&mut self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Bounded per-node flight recorder.
+///
+/// Each node (plus the [`NETWORK_NODE`] sentinel) gets its own ring of
+/// `cap` events, so one chatty node cannot evict another node's history.
+/// The recorder assigns a global monotone `seq` to every event; merging all
+/// rings and sorting by `seq` reconstructs the exact emission order.
+#[derive(Debug)]
+pub struct RingRecorder {
+    cap: usize,
+    next_seq: u64,
+    rings: BTreeMap<u16, RingBuffer<Event>>,
+}
+
+impl RingRecorder {
+    /// Creates a recorder with the given per-node ring capacity.
+    pub fn new(cap: usize) -> RingRecorder {
+        RingRecorder { cap, next_seq: 0, rings: BTreeMap::new() }
+    }
+
+    /// Per-node ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events currently retained across all rings.
+    pub fn len(&self) -> usize {
+        self.rings.values().map(RingBuffer::len).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.rings.values().all(RingBuffer::is_empty)
+    }
+
+    /// Events retained for one node, oldest-first.
+    pub fn node_events(&self, node: u16) -> Vec<Event> {
+        self.rings.get(&node).map(RingBuffer::to_vec).unwrap_or_default()
+    }
+
+    /// All retained events merged across rings, in emission (`seq`) order.
+    pub fn events(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.rings.values().flat_map(RingBuffer::iter).cloned().collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Drops all retained events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        for ring in self.rings.values_mut() {
+            ring.clear();
+        }
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, mut event: Event) {
+        event.seq = self.next_seq;
+        self.next_seq += 1;
+        let cap = self.cap;
+        self.rings.entry(event.node).or_insert_with(|| RingBuffer::new(cap)).push(event);
+    }
+}
+
+/// Cheaply cloneable on/off switch around a shared [`RingRecorder`].
+///
+/// The engine and every protocol stack hold a clone; the harness keeps one
+/// to export or analyse the trace afterwards. A disabled handle is a `None`
+/// and costs one branch per instrumentation site.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Option<Arc<Mutex<RingRecorder>>>);
+
+impl TraceHandle {
+    /// The disabled handle (the default).
+    pub fn off() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// An enabled handle with `cap` events retained per node. A capacity of
+    /// zero yields a disabled handle.
+    pub fn bounded(cap: usize) -> TraceHandle {
+        if cap == 0 {
+            TraceHandle(None)
+        } else {
+            TraceHandle(Some(Arc::new(Mutex::new(RingRecorder::new(cap)))))
+        }
+    }
+
+    /// An enabled handle with the [`DEFAULT_CAPACITY`].
+    pub fn on() -> TraceHandle {
+        TraceHandle::bounded(DEFAULT_CAPACITY)
+    }
+
+    /// Reads [`TRACE_CAP_ENV`]: unset, unparsable, or `0` → off.
+    pub fn from_env() -> TraceHandle {
+        match std::env::var(TRACE_CAP_ENV) {
+            Ok(v) => TraceHandle::bounded(v.trim().parse::<usize>().unwrap_or(0)),
+            Err(_) => TraceHandle::off(),
+        }
+    }
+
+    /// Whether events are being retained.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one event (seq is assigned by the recorder; pass 0).
+    #[inline]
+    pub fn record(&self, asn: u64, node: u16, kind: EventKind) {
+        if let Some(rec) = &self.0 {
+            rec.lock().expect("trace recorder poisoned").record(Event { seq: 0, asn, node, kind });
+        }
+    }
+
+    /// Records a run-scoped event on the [`NETWORK_NODE`] sentinel ring.
+    #[inline]
+    pub fn record_network(&self, asn: u64, kind: EventKind) {
+        self.record(asn, NETWORK_NODE, kind);
+    }
+
+    /// All retained events in emission order (empty when off).
+    pub fn events(&self) -> Vec<Event> {
+        match &self.0 {
+            Some(rec) => rec.lock().expect("trace recorder poisoned").events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events retained for one node (empty when off).
+    pub fn node_events(&self, node: u16) -> Vec<Event> {
+        match &self.0 {
+            Some(rec) => rec.lock().expect("trace recorder poisoned").node_events(node),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        if let Some(rec) = &self.0 {
+            rec.lock().expect("trace recorder poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PacketId;
+
+    fn ev(kind: EventKind) -> EventKind {
+        kind
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(Event { seq: 0, asn: 0, node: 0, kind: EventKind::SlotStart });
+    }
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let h = TraceHandle::off();
+        assert!(!h.is_on());
+        h.record(5, 1, EventKind::SlotStart);
+        assert!(h.events().is_empty());
+    }
+
+    #[test]
+    fn bounded_zero_is_off() {
+        assert!(!TraceHandle::bounded(0).is_on());
+        assert!(TraceHandle::bounded(1).is_on());
+    }
+
+    #[test]
+    fn seq_fixes_global_order_across_nodes() {
+        let h = TraceHandle::bounded(8);
+        h.record(0, 2, ev(EventKind::SlotStart));
+        h.record(0, 1, ev(EventKind::CcaDefer));
+        h.record(1, 2, ev(EventKind::NodeReset));
+        let all = h.events();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].node, 2);
+        assert_eq!(all[1].node, 1);
+        assert_eq!(all[2].node, 2);
+        assert_eq!(all.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_node_rings_isolate_eviction() {
+        let h = TraceHandle::bounded(2);
+        // Node 1 is chatty; node 2 logs once, early.
+        h.record(0, 2, ev(EventKind::NodeReset));
+        for asn in 0..10 {
+            h.record(asn, 1, ev(EventKind::CcaDefer));
+        }
+        assert_eq!(h.node_events(2).len(), 1, "quiet node's history survives");
+        assert_eq!(h.node_events(1).len(), 2, "chatty node capped at ring size");
+    }
+
+    #[test]
+    fn clone_shares_the_recorder() {
+        let h = TraceHandle::bounded(4);
+        let h2 = h.clone();
+        h2.record(
+            3,
+            0,
+            ev(EventKind::Generated { packet: PacketId { flow: 0, seq: 1, origin: 0 } }),
+        );
+        assert_eq!(h.events().len(), 1);
+        h.clear();
+        assert!(h2.events().is_empty());
+    }
+
+    #[test]
+    fn from_env_parses_capacity() {
+        // Env mutation: run the three cases in one test to avoid races with
+        // parallel test threads reading the same variable.
+        std::env::set_var(TRACE_CAP_ENV, "16");
+        assert!(TraceHandle::from_env().is_on());
+        std::env::set_var(TRACE_CAP_ENV, "0");
+        assert!(!TraceHandle::from_env().is_on());
+        std::env::set_var(TRACE_CAP_ENV, "nonsense");
+        assert!(!TraceHandle::from_env().is_on());
+        std::env::remove_var(TRACE_CAP_ENV);
+        assert!(!TraceHandle::from_env().is_on());
+    }
+}
