@@ -10,23 +10,6 @@ use digs::scenarios;
 use digs_metrics::format::{boxplot_table, figure_header};
 use digs_metrics::BoxplotStats;
 
-/// PDR of one flow restricted to the packets generated inside the jammed
-/// window.
-fn windowed_pdr(
-    flow: &digs::results::FlowResult,
-    spec: &digs::flows::FlowSpec,
-    window_start_slot: u64,
-) -> Option<f64> {
-    let first_seq = window_start_slot.saturating_sub(spec.phase).div_ceil(spec.period) as u32;
-    if flow.generated <= first_seq {
-        return None;
-    }
-    let in_window = first_seq..flow.generated;
-    let total = in_window.len() as f64;
-    let delivered = in_window.filter(|seq| flow.seq_delivered(*seq)).count() as f64;
-    Some(delivered / total)
-}
-
 fn main() {
     let sets = digs_bench::sets(6);
     let secs = digs_bench::secs(420);
@@ -41,7 +24,8 @@ fn main() {
             let specs = config.flows.clone();
             let results = digs::experiment::run_for(config, secs);
             for (flow, spec) in results.flows.iter().zip(&specs) {
-                if let Some(p) = windowed_pdr(flow, spec, scenarios::JAM_START_SECS * 100) {
+                let window = scenarios::JAM_START_SECS * 100;
+                if let Some(p) = digs::experiment::windowed_flow_pdr(flow, spec, window) {
                     pdrs.push(p);
                 }
             }

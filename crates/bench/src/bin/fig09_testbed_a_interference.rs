@@ -12,6 +12,7 @@
 //! 917.5 ms; mean latency 649.5 ms vs 1214.1 ms; power per received packet
 //! −0.056 mW.
 
+use digs::config::Protocol;
 use digs::experiment;
 use digs::scenarios;
 use digs_metrics::format::{boxplot_table, cdf_table, figure_header};
@@ -79,4 +80,23 @@ fn main() {
         ("Orchestra mean latency (ms)", "1214.1", orch_lat.mean()),
         ("power/packet DiGS − Orchestra (mW)", "-0.056", digs_ppp.mean() - orch_ppp.mean()),
     ]);
+
+    // The same runs as the conformance gate's fig09 scenarios see them.
+    let ctx = digs_conformance::MetricContext {
+        repair_event_secs: Some(scenarios::JAM_START_SECS),
+        repair_settle_secs: digs_conformance::matrix::REPAIR_SETTLE_SECS,
+        window_start_slot: Some(scenarios::JAM_START_SECS * 100),
+    };
+    for (label, protocol, runs) in [
+        ("fig09-digs", Protocol::Digs, &digs_runs),
+        ("fig09-orchestra", Protocol::Orchestra, &orch_runs),
+    ] {
+        digs_bench::print_records(
+            label,
+            |seed| scenarios::testbed_a_interference(protocol, seed),
+            runs,
+            secs,
+            ctx,
+        );
+    }
 }

@@ -7,6 +7,7 @@
 //! latency improvements 213.0 ms (worst-case) and 232.7 ms (median);
 //! power per received packet −0.057 mW.
 
+use digs::config::Protocol;
 use digs::experiment;
 use digs::scenarios;
 use digs_metrics::format::{cdf_table, figure_header};
@@ -43,4 +44,22 @@ fn main() {
         ("median latency gap (Orch − DiGS, ms)", "232.7", orch_lat.median() - digs_lat.median()),
         ("power/packet DiGS − Orchestra (mW)", "-0.057", digs_ppp.mean() - orch_ppp.mean()),
     ]);
+
+    let ctx = digs_conformance::MetricContext {
+        repair_event_secs: Some(scenarios::JAM_START_SECS),
+        repair_settle_secs: digs_conformance::matrix::REPAIR_SETTLE_SECS,
+        window_start_slot: Some(scenarios::JAM_START_SECS * 100),
+    };
+    for (label, protocol, runs) in [
+        ("fig10-digs", Protocol::Digs, &digs_runs),
+        ("fig10-orchestra", Protocol::Orchestra, &orch_runs),
+    ] {
+        digs_bench::print_records(
+            label,
+            |seed| scenarios::testbed_b_interference(protocol, seed),
+            runs,
+            secs,
+            ctx,
+        );
+    }
 }

@@ -77,4 +77,22 @@ fn main() {
         ("Orchestra flows degraded (<90% PDR)", "~6 of 8/set", orch_degraded as f64),
         ("power/packet DiGS − Orchestra (mW)", "-9.01", digs_ppp.mean() - orch_ppp.mean()),
     ]);
+
+    let ctx = digs_conformance::MetricContext {
+        repair_event_secs: Some(FAILURE_START_SECS),
+        repair_settle_secs: digs_conformance::matrix::REPAIR_SETTLE_SECS,
+        window_start_slot: Some(FAILURE_START_SECS * 100),
+    };
+    for (label, protocol, runs) in [
+        ("fig11-digs", Protocol::Digs, &digs_runs),
+        ("fig11-orchestra", Protocol::Orchestra, &orch_runs),
+    ] {
+        digs_bench::print_records(
+            label,
+            |seed| scenarios::testbed_a_node_failure(protocol, seed),
+            runs,
+            secs,
+            ctx,
+        );
+    }
 }

@@ -6,6 +6,7 @@
 //! ≥ 95% PDR; worst-case set PDR 86.7% vs 63.0%; median latency 1560 ms
 //! vs 1950 ms; duty cycle per received packet +0.056% for DiGS.
 
+use digs::config::Protocol;
 use digs::experiment;
 use digs::scenarios;
 use digs_metrics::format::{cdf_table, figure_header};
@@ -42,4 +43,18 @@ fn main() {
         ("Orchestra median latency (ms)", "1950", orch_lat.median()),
         ("duty cycle/pkt DiGS − Orchestra (%)", "+0.056", digs_dc.mean() - orch_dc.mean()),
     ]);
+
+    let ctx = digs_conformance::MetricContext::default();
+    for (label, protocol, runs) in [
+        ("fig12-digs", Protocol::Digs, &digs_runs),
+        ("fig12-orchestra", Protocol::Orchestra, &orch_runs),
+    ] {
+        digs_bench::print_records(
+            label,
+            |seed| scenarios::large_scale(protocol, seed),
+            runs,
+            secs,
+            ctx,
+        );
+    }
 }

@@ -13,7 +13,6 @@ use digs::config::{NetworkConfig, Protocol};
 use digs::network::Network;
 use digs_metrics::format::figure_header;
 use digs_sim::fault::{FaultPlan, Outage};
-use digs_sim::ids::NodeId;
 use digs_sim::time::Asn;
 use digs_sim::topology::Topology;
 
@@ -26,26 +25,11 @@ fn config(protocol: Protocol, seed: u64) -> NetworkConfig {
     NetworkConfig::builder(topology).protocol(protocol).seed(seed).flows(flows).build()
 }
 
-/// A relay on the centralized schedule's paths (shared victim for all
-/// three protocols).
-fn pick_victim(cfg: &NetworkConfig) -> Option<NodeId> {
-    let engine = digs_sim::engine::Engine::new(cfg.topology.clone(), cfg.rf.clone(), cfg.seed);
-    let db = digs_whart::LinkDb::from_link_model(engine.link_model());
-    let graph = digs_whart::build_uplink_graph(&db, &cfg.topology.access_points());
-    let sources: Vec<NodeId> = cfg.flows.iter().map(|f| f.source).collect();
-    sources.iter().find_map(|s| {
-        graph
-            .entry(*s)
-            .and_then(|e| e.best)
-            .filter(|p| !cfg.topology.is_access_point(*p) && !sources.contains(p))
-    })
-}
-
 fn main() {
     let seed = digs_bench::sets(3); // reuse the knob as a seed selector
     let secs = digs_bench::secs(360);
     println!("{}", figure_header("Bonus", "DiGS vs Orchestra vs centralized WirelessHART"));
-    let victim = pick_victim(&config(Protocol::WirelessHart, seed));
+    let victim = digs::experiment::shared_relay_victim(&config(Protocol::WirelessHart, seed));
     println!(
         "shared failed relay: {}\n",
         victim.map_or("none found (flows are single-hop)".into(), |v| v.to_string())

@@ -13,8 +13,7 @@
 
 use digs::config::{NetworkConfig, Protocol};
 use digs::results::RunResults;
-use std::sync::mpsc;
-use std::thread;
+use digs_conformance::pool;
 
 /// Number of flow sets to run, from `DIGS_SETS` (default `default`).
 pub fn sets(default: u64) -> u64 {
@@ -27,58 +26,55 @@ pub fn secs(default: u64) -> u64 {
 }
 
 /// Runs `scenario(seed)` for seeds `1..=sets`, fanned out over the
-/// available cores, each for `run_secs` simulated seconds.
+/// available cores (the conformance harness's worker pool), each for
+/// `run_secs` simulated seconds. Results come back in seed order.
 pub fn run_seeds(
-    scenario: impl Fn(u64) -> NetworkConfig + Send + Sync + Clone + 'static,
+    scenario: impl Fn(u64) -> NetworkConfig + Send + Sync,
     sets: u64,
     run_secs: u64,
 ) -> Vec<RunResults> {
-    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(sets.max(1) as usize);
-    let (task_tx, task_rx) = mpsc::channel::<u64>();
-    let task_rx = std::sync::Arc::new(std::sync::Mutex::new(task_rx));
-    let (res_tx, res_rx) = mpsc::channel::<(u64, RunResults)>();
-    for seed in 1..=sets {
-        task_tx.send(seed).expect("queue open");
-    }
-    drop(task_tx);
-    let mut handles = Vec::new();
-    for _ in 0..workers {
-        let task_rx = std::sync::Arc::clone(&task_rx);
-        let res_tx = res_tx.clone();
-        let scenario = scenario.clone();
-        handles.push(thread::spawn(move || loop {
-            let seed = {
-                let guard = task_rx.lock().expect("not poisoned");
-                match guard.recv() {
-                    Ok(s) => s,
-                    Err(_) => break,
-                }
-            };
-            let results = digs::experiment::run_for(scenario(seed), run_secs);
-            if res_tx.send((seed, results)).is_err() {
-                break;
-            }
-        }));
-    }
-    drop(res_tx);
-    let mut collected: Vec<(u64, RunResults)> = res_rx.into_iter().collect();
-    for h in handles {
-        let _ = h.join();
-    }
-    collected.sort_by_key(|(seed, _)| *seed);
-    collected.into_iter().map(|(_, r)| r).collect()
+    let seeds: Vec<u64> = (1..=sets).collect();
+    let jobs = pool::default_jobs(seeds.len());
+    pool::par_map(seeds, jobs, |seed| digs::experiment::run_for(scenario(seed), run_secs))
 }
 
 /// Runs a scenario for both protocols; returns `(digs, orchestra)`.
 pub fn run_both(
-    scenario: impl Fn(Protocol, u64) -> NetworkConfig + Send + Sync + Clone + 'static,
+    scenario: impl Fn(Protocol, u64) -> NetworkConfig + Send + Sync,
     sets: u64,
     run_secs: u64,
 ) -> (Vec<RunResults>, Vec<RunResults>) {
-    let s1 = scenario.clone();
-    let digs = run_seeds(move |seed| s1(Protocol::Digs, seed), sets, run_secs);
-    let orchestra = run_seeds(move |seed| scenario(Protocol::Orchestra, seed), sets, run_secs);
+    let digs = run_seeds(|seed| scenario(Protocol::Digs, seed), sets, run_secs);
+    let orchestra = run_seeds(|seed| scenario(Protocol::Orchestra, seed), sets, run_secs);
     (digs, orchestra)
+}
+
+/// Prints the canonical `digs-conformance` JSONL record of every run
+/// (seeds `1..=runs.len()`), regenerating each seed's config for its
+/// flow specs. The figure binaries emit these after their tables so any
+/// run's metrics can be diffed or fed to the gate's tooling.
+pub fn print_records(
+    scenario_label: &str,
+    scenario: impl Fn(u64) -> NetworkConfig,
+    runs: &[RunResults],
+    run_secs: u64,
+    ctx: digs_conformance::MetricContext,
+) {
+    println!("\ncanonical records ({scenario_label}, digs-conformance JSONL)");
+    for (i, results) in runs.iter().enumerate() {
+        let seed = i as u64 + 1;
+        let config = scenario(seed);
+        let record = digs_conformance::RunMetrics::from_results(
+            scenario_label,
+            config.protocol.name(),
+            seed,
+            run_secs,
+            results,
+            &config.flows,
+            ctx,
+        );
+        println!("{}", record.to_line());
+    }
 }
 
 /// Prints the standard paper-vs-measured closing block.

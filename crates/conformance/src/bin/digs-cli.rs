@@ -1,4 +1,5 @@
-//! `digs-cli` — run DiGS / Orchestra networks from the command line.
+//! `digs-cli` — run DiGS / Orchestra networks and the conformance gate
+//! from the command line.
 //!
 //! ```text
 //! digs-cli run [--topology T] [--protocol P] [--secs N] [--flows N]
@@ -9,6 +10,9 @@
 //! digs-cli trace journeys [--min-complete N] [run options...]
 //! digs-cli trace churn    [run options...]
 //! digs-cli trace dump     [run options...]
+//! digs-cli gate [--matrix small|full] [--seeds SPEC] [--secs N]
+//!               [--jobs N] [--goldens DIR] [--bless] [--json]
+//!               [--summary FILE] [--inject-loss SUBSTR]
 //! ```
 //!
 //! The `trace` commands run a network with the flight recorder enabled
@@ -16,6 +20,13 @@
 //! stream: `journeys` reconstructs hop-by-hop packet journeys and prints
 //! the latency breakdown, `churn` prints the parent-churn/repair timeline,
 //! and `dump` writes the raw events as JSONL to stdout.
+//!
+//! `gate` runs the conformance matrix in parallel and compares the
+//! per-scenario aggregates against `goldens/<matrix>.json` with the
+//! checked-in tolerance bands; `--bless` regenerates the baseline.
+//! `--seeds` takes `8` (seeds 1–8), `3-10`, or `1,4,9`. `--inject-loss`
+//! is a test hook that halves delivery metrics of matching scenarios to
+//! demonstrate the gate tripping. Exit status: 0 pass, 1 breach or error.
 //!
 //! Topologies: `testbed-a` (default), `testbed-a-half`, `testbed-b`,
 //! `testbed-b-half`, `cooja`, or `random:<devices>:<side-m>`.
@@ -59,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
             json = true;
             continue;
         }
+        if flag == "--bless" {
+            options.insert("bless".to_string(), "true".to_string());
+            continue;
+        }
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument `{flag}`\n{}", usage()))?;
@@ -70,10 +85,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: digs-cli <run|topology|graph|manager|trace> [--topology T] [--protocol P] \
+    "usage: digs-cli <run|topology|graph|manager|trace|gate> [--topology T] [--protocol P] \
      [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]\n\
      trace subcommands: journeys [--min-complete N] | churn | dump  \
-     (plus --trace-cap N, default 65536)"
+     (plus --trace-cap N, default 65536)\n\
+     gate: [--matrix small|full] [--seeds SPEC] [--secs N] [--jobs N] \
+     [--goldens DIR] [--bless] [--summary FILE] [--inject-loss SUBSTR]"
         .to_string()
 }
 
@@ -340,6 +357,36 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_gate(args: &Args) -> Result<(), String> {
+    let mut opts = digs_conformance::GateOptions::new();
+    opts.matrix = digs_conformance::MatrixKind::parse(
+        args.options.get("matrix").map_or("full", String::as_str),
+    )?;
+    if let Some(spec) = args.options.get("seeds") {
+        opts.seeds =
+            digs_sim::seeds::SeedSpec::parse(spec).map_err(|e| e.to_string())?.seeds().to_vec();
+    }
+    if let Some(dir) = args.options.get("goldens") {
+        opts.goldens_dir = dir.into();
+    }
+    if let Some(secs) = args.options.get("secs") {
+        opts.secs = Some(secs.parse().map_err(|e| format!("bad --secs: {e}"))?);
+    }
+    if let Some(jobs) = args.options.get("jobs") {
+        opts.jobs = Some(jobs.parse().map_err(|e| format!("bad --jobs: {e}"))?);
+    }
+    opts.bless = args.options.get("bless").is_some_and(|v| v == "true");
+    opts.json = args.json;
+    opts.inject_loss = args.options.get("inject-loss").cloned();
+    opts.summary = args.options.get("summary").map(Into::into);
+    let outcome = digs_conformance::run_gate(&opts)?;
+    if outcome.passed {
+        Ok(())
+    } else {
+        Err("conformance gate breached".into())
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -354,6 +401,7 @@ fn main() -> ExitCode {
         "graph" => cmd_graph(&args),
         "manager" => cmd_manager(&args),
         "trace" => cmd_trace(&args),
+        "gate" => cmd_gate(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {

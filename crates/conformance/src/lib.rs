@@ -1,0 +1,37 @@
+//! # digs-conformance — golden-run conformance harness
+//!
+//! Turns the DiGS reproduction's paper-figure scenarios into an enforced
+//! regression suite:
+//!
+//! - [`matrix`] defines the scenario × seed matrix (Figs. 4/5, 9–13, the
+//!   three-way comparison, the chaos soak) with shared immutable
+//!   topology setup hoisted out of the per-seed loop;
+//! - [`pool`] fans the deterministic simulations out over the available
+//!   cores (one run per worker, results in input order);
+//! - [`metrics`] reduces every run to a canonical [`metrics::RunMetrics`]
+//!   JSON record — byte-identical for identical seed + config;
+//! - [`golden`] aggregates per-scenario distributions (median, p90, min,
+//!   max) and derives explicit per-metric tolerance bands for the
+//!   checked-in `goldens/*.json` baselines;
+//! - [`report`] compares fresh aggregates against a golden and renders
+//!   the human-readable diff table;
+//! - [`gate`] orchestrates the whole thing behind `digs-cli gate`.
+//!
+//! The [`json`] module is the deterministic JSON writer/reader the
+//! records and goldens share (ordered fields, shortest round-trip float
+//! formatting, `null` for absent metrics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod golden;
+pub mod json;
+pub mod matrix;
+pub mod metrics;
+pub mod pool;
+pub mod report;
+
+pub use gate::{run_gate, GateOptions, GateOutcome};
+pub use matrix::{MatrixKind, ScenarioSpec};
+pub use metrics::{MetricContext, RunMetrics};

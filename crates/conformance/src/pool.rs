@@ -1,0 +1,141 @@
+//! A std-only worker pool for fanning independent simulations out over
+//! the available cores.
+//!
+//! Each task is one deterministic simulation: tasks share no mutable
+//! state, so a plain channel-fed pool is all the parallelism the matrix
+//! needs. Results come back in input order regardless of completion
+//! order, and per-task wall-clock durations are captured so the gate can
+//! report its serial-equivalent time (the sum of per-run durations) next
+//! to the actual wall clock.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Output of [`par_map_timed`] for one task.
+#[derive(Debug, Clone)]
+pub struct Timed<T> {
+    /// The task's result.
+    pub value: T,
+    /// How long the task ran on its worker.
+    pub elapsed: Duration,
+}
+
+/// Default worker count: one per available core, capped by the task
+/// count.
+pub fn default_jobs(tasks: usize) -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get()).min(tasks.max(1))
+}
+
+/// Runs `f` over `items` on `jobs` worker threads and returns the
+/// results in input order. With `jobs <= 1` (or a single item) the work
+/// runs inline on the caller's thread — same results, no threads.
+pub fn par_map<I, O, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Send + Sync,
+{
+    par_map_timed(items, jobs, f).into_iter().map(|t| t.value).collect()
+}
+
+/// Like [`par_map`], but also reports each task's wall-clock duration.
+pub fn par_map_timed<I, O, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<Timed<O>>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Send + Sync,
+{
+    let jobs = jobs.min(items.len()).max(1);
+    if jobs == 1 {
+        return items
+            .into_iter()
+            .map(|item| {
+                let start = Instant::now();
+                let value = f(item);
+                Timed { value, elapsed: start.elapsed() }
+            })
+            .collect();
+    }
+
+    let n = items.len();
+    let (task_tx, task_rx) = mpsc::channel::<(usize, I)>();
+    let task_rx = Arc::new(Mutex::new(task_rx));
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Timed<O>)>();
+    for task in items.into_iter().enumerate() {
+        task_tx.send(task).expect("queue open");
+    }
+    drop(task_tx);
+
+    // Scoped threads: borrow `f` instead of requiring 'static closures.
+    let mut results: Vec<Option<Timed<O>>> = std::iter::repeat_with(|| None).take(n).collect();
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let task_rx = Arc::clone(&task_rx);
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || loop {
+                let (index, item) = {
+                    let guard = task_rx.lock().expect("not poisoned");
+                    match guard.recv() {
+                        Ok(task) => task,
+                        Err(_) => break,
+                    }
+                };
+                let start = Instant::now();
+                let value = f(item);
+                if res_tx.send((index, Timed { value, elapsed: start.elapsed() })).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        for (index, timed) in res_rx {
+            results[index] = Some(timed);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every task completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let out = par_map((0..64u64).collect(), 4, |x| x * x);
+        assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timed_durations_are_recorded() {
+        let out = par_map_timed(vec![10u64, 20], 2, |x| {
+            thread::sleep(Duration::from_millis(x));
+            x
+        });
+        assert_eq!(out.len(), 2);
+        for t in &out {
+            assert!(t.elapsed >= Duration::from_millis(t.value / 2));
+        }
+    }
+
+    #[test]
+    fn borrows_environment_without_static() {
+        let factor = 3u64;
+        let out = par_map(vec![1, 2], 2, |x| x * factor);
+        assert_eq!(out, vec![3, 6]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Comparing fresh aggregates against a golden baseline and rendering
+//! the human-readable diff table.
+
+use crate::golden::Golden;
+
+/// Outcome of one golden check against the fresh run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Inside the tolerance band.
+    Pass,
+    /// Outside the band.
+    Breach,
+    /// The fresh run produced no value for this aggregate (a metric
+    /// silently disappearing is a regression, not a pass).
+    Missing,
+    /// The scenario ran but is absent from the golden (the matrix grew;
+    /// re-bless to accept it).
+    Unblessed,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Pass => "ok",
+            Status::Breach => "BREACH",
+            Status::Missing => "MISSING",
+            Status::Unblessed => "UNBLESSED",
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Scenario name.
+    pub scenario: String,
+    /// `metric.stat` key.
+    pub metric: String,
+    /// Band lower bound from the golden.
+    pub lo: f64,
+    /// Band upper bound from the golden.
+    pub hi: f64,
+    /// The value observed at bless time.
+    pub blessed: f64,
+    /// The fresh aggregate, if the run produced one.
+    pub observed: Option<f64>,
+    /// The verdict.
+    pub status: Status,
+}
+
+/// The full comparison outcome.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every check's outcome, in golden order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Compares fresh per-scenario aggregates against the golden.
+    /// `fresh` pairs each scenario name with its `("metric.stat",
+    /// value)` aggregates.
+    pub fn compare(golden: &Golden, fresh: &[(String, Vec<(String, f64)>)]) -> Report {
+        let mut findings = Vec::new();
+        for sg in &golden.scenarios {
+            let aggregates = fresh.iter().find(|(name, _)| *name == sg.name).map(|(_, a)| a);
+            for check in &sg.checks {
+                let observed = aggregates
+                    .and_then(|a| a.iter().find(|(k, _)| *k == check.metric))
+                    .map(|(_, v)| *v);
+                let status = match observed {
+                    None => Status::Missing,
+                    Some(v) if check.passes(v) => Status::Pass,
+                    Some(_) => Status::Breach,
+                };
+                findings.push(Finding {
+                    scenario: sg.name.clone(),
+                    metric: check.metric.clone(),
+                    lo: check.lo,
+                    hi: check.hi,
+                    blessed: check.observed,
+                    observed,
+                    status,
+                });
+            }
+        }
+        // Scenarios the golden has never seen: fail loudly so a grown
+        // matrix cannot ship ungated.
+        for (name, _) in fresh {
+            if golden.scenario(name).is_none() {
+                findings.push(Finding {
+                    scenario: name.clone(),
+                    metric: "-".into(),
+                    lo: f64::NAN,
+                    hi: f64::NAN,
+                    blessed: f64::NAN,
+                    observed: None,
+                    status: Status::Unblessed,
+                });
+            }
+        }
+        Report { findings }
+    }
+
+    /// Rows that failed.
+    pub fn failures(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.status != Status::Pass).collect()
+    }
+
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.status == Status::Pass)
+    }
+
+    /// Number of checks compared.
+    pub fn total(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// The plain-text diff table of failing checks (empty string when
+    /// everything passed).
+    pub fn diff_table(&self) -> String {
+        self.render(self.failures(), false)
+    }
+
+    /// The same diff table as GitHub-flavoured markdown (for CI step
+    /// summaries).
+    pub fn diff_table_markdown(&self) -> String {
+        self.render(self.failures(), true)
+    }
+
+    fn render(&self, rows: Vec<&Finding>, markdown: bool) -> String {
+        if rows.is_empty() {
+            return String::new();
+        }
+        let fmt_num = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else if v.abs() >= 100.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        let mut out = String::new();
+        if markdown {
+            out.push_str("| scenario | metric | band (lo..hi) | blessed | observed | status |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            for f in rows {
+                out.push_str(&format!(
+                    "| {} | {} | {}..{} | {} | {} | {} |\n",
+                    f.scenario,
+                    f.metric,
+                    fmt_num(f.lo),
+                    fmt_num(f.hi),
+                    fmt_num(f.blessed),
+                    f.observed.map_or("-".to_string(), fmt_num),
+                    f.status.label(),
+                ));
+            }
+        } else {
+            out.push_str(&format!(
+                "{:<24} {:<28} {:>17} {:>9} {:>9}  {}\n",
+                "scenario", "metric", "band (lo..hi)", "blessed", "observed", "status"
+            ));
+            out.push_str(&format!("{}\n", "-".repeat(98)));
+            for f in rows {
+                out.push_str(&format!(
+                    "{:<24} {:<28} {:>8}..{:>7} {:>9} {:>9}  {}\n",
+                    f.scenario,
+                    f.metric,
+                    fmt_num(f.lo),
+                    fmt_num(f.hi),
+                    fmt_num(f.blessed),
+                    f.observed.map_or("-".to_string(), fmt_num),
+                    f.status.label(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{Check, ScenarioGolden};
+
+    fn golden() -> Golden {
+        Golden {
+            matrix: "small".into(),
+            seeds: vec![1, 2],
+            scenarios: vec![ScenarioGolden {
+                name: "fig09-digs".into(),
+                secs: 420,
+                checks: vec![
+                    Check { metric: "pdr.median".into(), observed: 0.95, lo: 0.91, hi: 1.0 },
+                    Check {
+                        metric: "repair_time_secs.median".into(),
+                        observed: 8.0,
+                        lo: 4.0,
+                        hi: 12.0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn passing_comparison_is_clean() {
+        let fresh = vec![(
+            "fig09-digs".to_string(),
+            vec![("pdr.median".to_string(), 0.94), ("repair_time_secs.median".to_string(), 9.0)],
+        )];
+        let report = Report::compare(&golden(), &fresh);
+        assert!(report.passed());
+        assert_eq!(report.total(), 2);
+        assert!(report.diff_table().is_empty());
+    }
+
+    #[test]
+    fn breach_produces_a_diff_row() {
+        let fresh = vec![(
+            "fig09-digs".to_string(),
+            vec![("pdr.median".to_string(), 0.5), ("repair_time_secs.median".to_string(), 9.0)],
+        )];
+        let report = Report::compare(&golden(), &fresh);
+        assert!(!report.passed());
+        let table = report.diff_table();
+        assert!(table.contains("pdr.median") && table.contains("BREACH"), "{table}");
+        assert!(!table.contains("repair_time_secs"), "passing rows stay out of the diff");
+        let md = report.diff_table_markdown();
+        assert!(md.starts_with("| scenario |"), "{md}");
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let fresh = vec![("fig09-digs".to_string(), vec![("pdr.median".to_string(), 0.94)])];
+        let report = Report::compare(&golden(), &fresh);
+        assert!(!report.passed());
+        assert!(report.diff_table().contains("MISSING"));
+    }
+
+    #[test]
+    fn unblessed_scenario_fails() {
+        let fresh = vec![
+            (
+                "fig09-digs".to_string(),
+                vec![
+                    ("pdr.median".to_string(), 0.94),
+                    ("repair_time_secs.median".to_string(), 9.0),
+                ],
+            ),
+            ("brand-new".to_string(), vec![("pdr.median".to_string(), 1.0)]),
+        ];
+        let report = Report::compare(&golden(), &fresh);
+        assert!(!report.passed());
+        assert!(report.diff_table().contains("UNBLESSED"));
+    }
+}

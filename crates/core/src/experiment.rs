@@ -214,6 +214,43 @@ pub fn run_whart_with_recovery(
     Ok((network.results(), report.total_secs()))
 }
 
+/// PDR of one flow restricted to the packets generated at or after
+/// `window_start_slot` — the Fig. 5 "PDR during repair" metric, where the
+/// window starts when the jammers switch on. `None` when the flow
+/// generated nothing inside the window.
+pub fn windowed_flow_pdr(
+    flow: &crate::results::FlowResult,
+    spec: &crate::flows::FlowSpec,
+    window_start_slot: u64,
+) -> Option<f64> {
+    let first_seq = window_start_slot.saturating_sub(spec.phase).div_ceil(spec.period) as u32;
+    if flow.generated <= first_seq {
+        return None;
+    }
+    let in_window = first_seq..flow.generated;
+    let total = in_window.len() as f64;
+    let delivered = in_window.filter(|seq| flow.seq_delivered(*seq)).count() as f64;
+    Some(delivered / total)
+}
+
+/// Picks a relay on the centralized schedule's uplink paths: the first
+/// flow source's best parent that is neither an access point nor itself a
+/// source. Derived from the link *model* (not a live run), so all three
+/// protocol stacks can be failed at the same node — the shared victim of
+/// the three-way comparison. `None` when every flow is single-hop.
+pub fn shared_relay_victim(cfg: &NetworkConfig) -> Option<digs_sim::ids::NodeId> {
+    let engine = digs_sim::engine::Engine::new(cfg.topology.clone(), cfg.rf.clone(), cfg.seed);
+    let db = digs_whart::LinkDb::from_link_model(engine.link_model());
+    let graph = digs_whart::build_uplink_graph(&db, &cfg.topology.access_points());
+    let sources: Vec<digs_sim::ids::NodeId> = cfg.flows.iter().map(|f| f.source).collect();
+    sources.iter().find_map(|s| {
+        graph
+            .entry(*s)
+            .and_then(|e| e.best)
+            .filter(|p| !cfg.topology.is_access_point(*p) && !sources.contains(p))
+    })
+}
+
 /// The Fig. 9f / 11b micro-benchmark: per-flow delivery success of packets
 /// with sequence numbers in `[from, to]`. Returns one row per flow:
 /// `(flow index, Vec<(seq, delivered)>)`.

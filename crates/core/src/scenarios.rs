@@ -84,7 +84,17 @@ fn testbed_b_jammers() -> Vec<Jammer> {
 /// Fig. 9 scenario: Testbed A, 8 flows @ 5 s, 3 WiFi jammers.
 /// `flow_seed` selects the flow set (the paper samples 300 of them).
 pub fn testbed_a_interference(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
-    let topology = Topology::testbed_a();
+    testbed_a_interference_on(Topology::testbed_a(), protocol, flow_seed)
+}
+
+/// [`testbed_a_interference`] on a pre-built topology, so seed sweeps can
+/// hoist the (shared, immutable) topology construction out of the
+/// per-seed loop and hand each run a cheap clone.
+pub fn testbed_a_interference_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
     let flows = delay_flows(random_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
     let mut builder = NetworkConfig::builder(topology)
         .protocol(protocol)
@@ -103,7 +113,17 @@ pub fn testbed_a_jammer_sweep(
     num_jammers: usize,
     flow_seed: u64,
 ) -> NetworkConfig {
-    let topology = Topology::testbed_a();
+    testbed_a_jammer_sweep_on(Topology::testbed_a(), protocol, num_jammers, flow_seed)
+}
+
+/// [`testbed_a_jammer_sweep`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_a_jammer_sweep_on(
+    topology: Topology,
+    protocol: Protocol,
+    num_jammers: usize,
+    flow_seed: u64,
+) -> NetworkConfig {
     let flows = delay_flows(random_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
     let mut builder = NetworkConfig::builder(topology)
         .protocol(protocol)
@@ -117,7 +137,16 @@ pub fn testbed_a_jammer_sweep(
 
 /// Fig. 10 scenario: Testbed B, 6 flows @ 5 s, 3 jammers over two floors.
 pub fn testbed_b_interference(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
-    let topology = Topology::testbed_b();
+    testbed_b_interference_on(Topology::testbed_b(), protocol, flow_seed)
+}
+
+/// [`testbed_b_interference`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_b_interference_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
     let flows = delay_flows(random_flow_set(&topology, 6, 500, flow_seed), WARMUP_SECS);
     let mut builder = NetworkConfig::builder(topology)
         .protocol(protocol)
@@ -191,7 +220,16 @@ pub const FAILURE_EACH_SECS: u64 = 60;
 /// [`crate::experiment::run_node_failure`] runner replaces it with victims
 /// picked from the live routing graph.
 pub fn testbed_a_node_failure(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
-    let topology = Topology::testbed_a();
+    testbed_a_node_failure_on(Topology::testbed_a(), protocol, flow_seed)
+}
+
+/// [`testbed_a_node_failure`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_a_node_failure_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
     let flows = delay_flows(far_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
     let sources: Vec<NodeId> = flows.iter().map(|f| f.source).collect();
     let victims = central_relays(&topology, &sources, 4);
@@ -208,7 +246,12 @@ pub fn testbed_a_node_failure(protocol: Protocol, flow_seed: u64) -> NetworkConf
 /// Fig. 12 scenario: 150 nodes + 2 APs in 300 m × 300 m, 20 flows @ 10 s,
 /// five disturbers toggling every 5 minutes.
 pub fn large_scale(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
-    let topology = Topology::cooja_150(7);
+    large_scale_on(Topology::cooja_150(7), protocol, flow_seed)
+}
+
+/// [`large_scale`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn large_scale_on(topology: Topology, protocol: Protocol, flow_seed: u64) -> NetworkConfig {
     let flows = delay_flows(random_flow_set(&topology, 20, 1000, flow_seed), WARMUP_SECS);
     // Eq. 4 needs A x devices = 450 distinct application cells; the
     // testbeds' 151-slot frame would wrap three devices onto every slot
@@ -235,7 +278,13 @@ pub fn large_scale(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
 /// Fig. 13 scenario: a cold-start Testbed A network with no flows, used to
 /// measure per-node joining time.
 pub fn initialization(protocol: Protocol, seed: u64) -> NetworkConfig {
-    NetworkConfig::builder(Topology::testbed_a()).protocol(protocol).seed(seed).build()
+    initialization_on(Topology::testbed_a(), protocol, seed)
+}
+
+/// [`initialization`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn initialization_on(topology: Topology, protocol: Protocol, seed: u64) -> NetworkConfig {
+    NetworkConfig::builder(topology).protocol(protocol).seed(seed).build()
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod packet;
 pub mod position;
 pub mod rf;
 pub mod rng;
+pub mod seeds;
 pub mod time;
 pub mod topology;
 pub mod trace;

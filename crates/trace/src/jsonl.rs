@@ -647,6 +647,39 @@ mod tests {
     }
 
     #[test]
+    fn extreme_values_round_trip() {
+        let p = PacketId { flow: u16::MAX, seq: u32::MAX, origin: u16::MAX };
+        let events = vec![
+            Event {
+                seq: u64::MAX,
+                asn: u64::MAX,
+                node: u16::MAX,
+                kind: EventKind::Delivered { packet: p, latency_slots: u64::MAX },
+            },
+            Event {
+                seq: 0,
+                asn: 0,
+                node: 0,
+                kind: EventKind::Tx {
+                    dst: Some(u16::MAX),
+                    class: TrafficClass::Data,
+                    channel: u8::MAX,
+                    contention: true,
+                    packet: Some(p),
+                },
+            },
+            Event {
+                seq: 1,
+                asn: 1,
+                node: 1,
+                kind: EventKind::QueueEnq { packet: p, depth: u32::MAX },
+            },
+        ];
+        let back = from_jsonl(&to_jsonl(&events)).expect("parse back");
+        assert_eq!(back, events);
+    }
+
+    #[test]
     fn string_escapes_round_trip() {
         let events = vec![Event {
             seq: 0,

@@ -259,6 +259,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_ring_recorder_is_a_no_op() {
+        let mut r = RingRecorder::new(0);
+        for asn in 0..10 {
+            r.record(Event { seq: 0, asn, node: 3, kind: EventKind::SlotStart });
+        }
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert!(r.events().is_empty());
+        assert!(r.node_events(3).is_empty());
+    }
+
+    #[test]
+    fn wrap_at_exact_capacity_keeps_newest_with_contiguous_seq() {
+        let mut r = RingRecorder::new(4);
+        // Fill exactly to capacity: nothing evicted, seqs start at 0.
+        for asn in 0..4 {
+            r.record(Event { seq: 0, asn, node: 1, kind: EventKind::SlotStart });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.events().iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // One past capacity: the oldest is evicted, the retained window is
+        // the newest four with still-contiguous sequence numbers.
+        r.record(Event { seq: 0, asn: 4, node: 1, kind: EventKind::SlotStart });
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(events.iter().map(|e| e.asn).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     fn from_env_parses_capacity() {
         // Env mutation: run the three cases in one test to avoid races with
         // parallel test threads reading the same variable.

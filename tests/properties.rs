@@ -3,10 +3,11 @@
 
 use digs_routing::messages::{JoinIn, ParentSlot, Rank};
 use digs_routing::{DigsRouting, RoutingConfig, RoutingGraph};
+use digs_scheduling::slotframe::frame_offset;
 use digs_scheduling::slotframe::CellAction;
 use digs_scheduling::{DigsScheduler, SlotframeLengths};
 use digs_sim::ids::NodeId;
-use digs_sim::rf::Dbm;
+use digs_sim::rf::{initial_etx_from_rss, Dbm, RSS_MAX, RSS_MIN};
 use digs_sim::time::Asn;
 use digs_sim::topology::Topology;
 use proptest::prelude::*;
@@ -140,5 +141,73 @@ proptest! {
             s
         };
         prop_assert_eq!(mk().cell(Asn(asn)), mk().cell(Asn(asn)));
+    }
+
+    /// Section V's RSS→initial-ETX mapping stays inside [1, 3] for any
+    /// RSS and never rewards a weaker signal with a lower ETX.
+    #[test]
+    fn rss_etx_clamped_and_monotone(a in -120.0f64..-30.0, b in -120.0f64..-30.0) {
+        let (ea, eb) = (initial_etx_from_rss(Dbm(a)), initial_etx_from_rss(Dbm(b)));
+        prop_assert!((1.0..=3.0).contains(&ea), "ETX {} outside [1, 3]", ea);
+        if a <= b {
+            prop_assert!(ea >= eb, "weaker RSS {} got lower ETX than {}", a, b);
+        }
+        // The knees sit exactly at the paper's −60/−90 dBm thresholds.
+        if a >= RSS_MAX.0 {
+            prop_assert_eq!(ea, 1.0);
+        }
+        if a <= RSS_MIN.0 {
+            prop_assert_eq!(ea, 3.0);
+        }
+    }
+
+    /// Eq. 4 cell ownership: no two children of the same parent ever own
+    /// the same application cell, so every receive slot resolves to
+    /// exactly one (child, attempt) pair.
+    #[test]
+    fn eq4_children_own_disjoint_cells(
+        children in prop::collection::vec(2u16..48, 1..12),
+        asn in 0u64..100_000,
+    ) {
+        let lengths = SlotframeLengths::paper();
+        let mut parent = DigsScheduler::new(NodeId(0), 2, lengths, 3);
+        let distinct: std::collections::HashSet<u16> = children.iter().copied().collect();
+        for c in &distinct {
+            parent.add_child(NodeId(*c), ParentSlot::Best);
+        }
+        // Every application offset is claimed by at most one child.
+        let off = frame_offset(Asn(asn), lengths.app);
+        let owners: Vec<(u16, u8)> = distinct
+            .iter()
+            .flat_map(|c| (1..=3u8).map(move |p| (*c, p)))
+            .filter(|(c, p)| parent.tx_slot(NodeId(*c), *p) == off)
+            .collect();
+        prop_assert!(owners.len() <= 1, "cell {} owned by {:?}", off, owners);
+        // And the resolved cell agrees: an RxData cell exists iff some
+        // unique (child, attempt) pair claims the slot.
+        if let Some(cell) = parent.cell(Asn(asn)) {
+            if matches!(cell.action, CellAction::RxData) {
+                prop_assert_eq!(owners.len(), 1);
+                let (c, p) = owners[0];
+                prop_assert_eq!(cell.offset, DigsScheduler::attempt_offset(NodeId(c), p));
+            }
+        }
+    }
+
+    /// Slotframe wraparound: offsets stay in range, advance one slot per
+    /// ASN, repeat with the slotframe period, and the combined schedule
+    /// repeats with the hyper-period (product of coprime lengths).
+    #[test]
+    fn slotframe_wraparound(asn in 0u64..10_000_000, len in 1u32..600) {
+        let off = frame_offset(Asn(asn), len);
+        prop_assert!(off < len, "offset {} out of slotframe of {}", off, len);
+        prop_assert_eq!(frame_offset(Asn(asn + u64::from(len)), len), off);
+        prop_assert_eq!(frame_offset(Asn(asn + 1), len), (off + 1) % len);
+
+        let lengths = SlotframeLengths::paper();
+        let mut s = DigsScheduler::new(NodeId(7), 2, lengths, 3);
+        s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        s.add_child(NodeId(9), ParentSlot::Best);
+        prop_assert_eq!(s.cell(Asn(asn)), s.cell(Asn(asn + lengths.hyper_period())));
     }
 }
