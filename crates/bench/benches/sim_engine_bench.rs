@@ -45,6 +45,26 @@ fn bench_engine(c: &mut Criterion) {
         });
     }
 
+    // Telemetry overhead: the same steady-state workload with epoch
+    // sampling pinned off (no sampler allocated at all) and on at the
+    // default cadence. The pair bounds the cost of the per-epoch registry
+    // scrape plus the run-loop chunking to epoch boundaries.
+    for (name, epoch_slots) in [("telemetry_off", 0u64), ("telemetry_on", 1000)] {
+        group.bench_function(format!("digs_1s_sim_testbed_a_half_20n_{name}"), |b| {
+            let config = NetworkConfig::builder(Topology::testbed_a_half())
+                .protocol(Protocol::Digs)
+                .seed(1)
+                .random_flows(2, 500, 1)
+                .trace_cap(0)
+                .telemetry_epoch(epoch_slots)
+                .telemetry_cap(4096)
+                .build();
+            let mut network = Network::new(config);
+            network.run_secs(60);
+            b.iter(|| network.run(100))
+        });
+    }
+
     group.bench_function("orchestra_1s_sim_testbed_a_50n", |b| {
         let config = NetworkConfig::builder(Topology::testbed_a())
             .protocol(Protocol::Orchestra)

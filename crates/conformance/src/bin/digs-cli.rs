@@ -10,6 +10,10 @@
 //! digs-cli trace journeys [--min-complete N] [run options...]
 //! digs-cli trace churn    [run options...]
 //! digs-cli trace dump     [run options...]
+//! digs-cli telemetry export [--format jsonl|csv] [--epoch-slots N]
+//!               [--cap N] [--jam START:END] [run options...]
+//! digs-cli telemetry report [same options...]
+//! digs-cli telemetry top    [same options...]
 //! digs-cli gate [--matrix small|full] [--seeds SPEC] [--secs N]
 //!               [--jobs N] [--goldens DIR] [--bless] [--json]
 //!               [--summary FILE] [--inject-loss SUBSTR]
@@ -20,6 +24,15 @@
 //! stream: `journeys` reconstructs hop-by-hop packet journeys and prints
 //! the latency breakdown, `churn` prints the parent-churn/repair timeline,
 //! and `dump` writes the raw events as JSONL to stdout.
+//!
+//! The `telemetry` commands run a network with epoch sampling enabled
+//! (`--epoch-slots` per epoch, default 1000 = 10 s) and the health
+//! monitor armed: `export` writes the per-epoch series as deterministic
+//! JSONL (or CSV with `--format csv`), `report` prints a per-epoch table
+//! with a PDR sparkline and the alert log, and `top` live-refreshes a
+//! terminal dashboard while the scenario runs. `--jam START:END` drops a
+//! full-band high-power WiFi jammer cluster on every access point for the
+//! given window (seconds) — the canonical fault-injection smoke.
 //!
 //! `gate` runs the conformance matrix in parallel and compares the
 //! per-scenario aggregates against `goldens/<matrix>.json` with the
@@ -35,7 +48,7 @@ use digs::config::{NetworkConfig, Protocol};
 use digs::network::Network;
 use digs_sim::interference::Jammer;
 use digs_sim::position::Position;
-use digs_sim::rf::RfConfig;
+use digs_sim::rf::{Dbm, RfConfig};
 use digs_sim::time::Asn;
 use digs_sim::topology::Topology;
 use std::collections::BTreeMap;
@@ -85,10 +98,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: digs-cli <run|topology|graph|manager|trace|gate> [--topology T] [--protocol P] \
-     [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]\n\
+    "usage: digs-cli <run|topology|graph|manager|trace|telemetry|gate> [--topology T] \
+     [--protocol P] [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]\n\
      trace subcommands: journeys [--min-complete N] | churn | dump  \
      (plus --trace-cap N, default 65536)\n\
+     telemetry subcommands: export [--format jsonl|csv] | report | top  \
+     (plus --epoch-slots N, --cap N, --jam START:END)\n\
      gate: [--matrix small|full] [--seeds SPEC] [--secs N] [--jobs N] \
      [--goldens DIR] [--bless] [--summary FILE] [--inject-loss SUBSTR]"
         .to_string()
@@ -127,7 +142,19 @@ where
     }
 }
 
-fn build_network(args: &Args, trace_cap: Option<usize>) -> Result<Network, String> {
+/// Extra wiring the telemetry commands need on top of the common run
+/// options.
+#[derive(Default)]
+struct BuildExtras {
+    trace_cap: Option<usize>,
+    /// `(epoch_slots, cap)` — enables telemetry sampling.
+    telemetry: Option<(u64, usize)>,
+    /// `(start_secs, end_secs)` — full-band jammer clusters on every
+    /// access point (WiFi channels 1/5/9/13 blanket all 16 channels).
+    jam: Option<(u64, u64)>,
+}
+
+fn build_network(args: &Args, extras: BuildExtras) -> Result<Network, String> {
     let topology = topology_from(args.options.get("topology").map_or("testbed-a", String::as_str))?;
     let protocol = match args.options.get("protocol").map_or("digs", String::as_str) {
         "digs" => Protocol::Digs,
@@ -145,24 +172,50 @@ fn build_network(args: &Args, trace_cap: Option<usize>) -> Result<Network, Strin
     } else {
         RfConfig::indoor()
     };
+    let ap_positions: Vec<Position> =
+        topology.access_points().iter().map(|ap| topology.position(*ap)).collect();
     let mut builder = NetworkConfig::builder(topology)
         .protocol(protocol)
         .rf(rf)
         .seed(seed)
         .random_flows(flows, period_ms / 10, seed);
-    if let Some(cap) = trace_cap {
+    if let Some(cap) = extras.trace_cap {
         builder = builder.trace_cap(cap);
+    }
+    if let Some((epoch_slots, cap)) = extras.telemetry {
+        builder = builder.telemetry_epoch(epoch_slots).telemetry_cap(cap);
     }
     for i in 0..jammers {
         let pos = Position::new(12.0 + 14.0 * i as f64, 8.0 + 5.0 * i as f64);
         builder = builder.jammer(Jammer::wifi(pos, [1u8, 6, 11][i % 3], Asn::from_secs(60)));
+    }
+    if let Some((start, end)) = extras.jam {
+        if end <= start {
+            return Err(format!("--jam window must have START < END, got {start}:{end}"));
+        }
+        // Four WiFi channels spaced 20 MHz apart blanket all sixteen
+        // 802.15.4 channels — hopping cannot escape this cluster. One
+        // cluster per access point: with a single AP jammed the routing
+        // layer fails over to the other AP (the paper's redundancy doing
+        // its job) and delivery barely dips. Elevated power so the
+        // interference floor also buries last-hop relays, and distinct
+        // salts so the clusters' idle slots do not line up.
+        for (i, pos) in ap_positions.iter().enumerate() {
+            for (k, wifi_ch) in [1u8, 5, 9, 13].into_iter().enumerate() {
+                let mut j =
+                    Jammer::wifi(*pos, wifi_ch, Asn::from_secs(start)).until(Asn::from_secs(end));
+                j.tx_power = Dbm(24.0);
+                j.salt = 0x9a7 ^ ((i as u64) << 8) ^ k as u64;
+                builder = builder.jammer(j);
+            }
+        }
     }
     Ok(Network::new(builder.build()))
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let secs: u64 = get(args, "secs", 300)?;
-    let mut network = build_network(args, None)?;
+    let mut network = build_network(args, BuildExtras::default())?;
     network.run_secs(secs);
     let results = network.results();
     if args.json {
@@ -227,7 +280,7 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
 
 fn cmd_graph(args: &Args) -> Result<(), String> {
     let secs: u64 = get(args, "secs", 150)?;
-    let mut network = build_network(args, None)?;
+    let mut network = build_network(args, BuildExtras::default())?;
     network.run_secs(secs);
     let graph = network.routing_graph();
     println!(
@@ -278,7 +331,8 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("trace needs a subcommand (journeys|churn|dump)\n{}", usage()))?;
     let secs: u64 = get(args, "secs", 120)?;
     let cap: usize = get(args, "trace-cap", 65_536)?;
-    let mut network = build_network(args, Some(cap))?;
+    let mut network =
+        build_network(args, BuildExtras { trace_cap: Some(cap), ..BuildExtras::default() })?;
     network.run_secs(secs);
     let events = network.trace().events();
     match sub {
@@ -357,6 +411,78 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     }
 }
 
+fn telemetry_extras(args: &Args) -> Result<(BuildExtras, u64, usize), String> {
+    let epoch_slots: u64 = get(args, "epoch-slots", 1000)?;
+    let cap: usize = get(args, "cap", 4096)?;
+    if epoch_slots == 0 || cap == 0 {
+        return Err("telemetry needs --epoch-slots > 0 and --cap > 0".into());
+    }
+    let jam = match args.options.get("jam") {
+        None => None,
+        Some(spec) => {
+            let (start, end) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--jam takes START:END seconds, got `{spec}`"))?;
+            Some((
+                start.parse().map_err(|e| format!("bad --jam start: {e}"))?,
+                end.parse().map_err(|e| format!("bad --jam end: {e}"))?,
+            ))
+        }
+    };
+    Ok((
+        BuildExtras { trace_cap: None, telemetry: Some((epoch_slots, cap)), jam },
+        epoch_slots,
+        cap,
+    ))
+}
+
+fn cmd_telemetry(args: &Args) -> Result<(), String> {
+    let sub = args
+        .subcommand
+        .as_deref()
+        .ok_or_else(|| format!("telemetry needs a subcommand (export|report|top)\n{}", usage()))?;
+    let secs: u64 = get(args, "secs", 300)?;
+    let (extras, epoch_slots, _cap) = telemetry_extras(args)?;
+    let mut network = build_network(args, extras)?;
+    match sub {
+        "export" => {
+            network.run_secs(secs);
+            let sampler = network.telemetry().expect("telemetry enabled above");
+            match args.options.get("format").map_or("jsonl", String::as_str) {
+                "jsonl" => print!("{}", digs::telemetry::to_jsonl(sampler)),
+                "csv" => print!("{}", digs::telemetry::to_csv(sampler)),
+                other => return Err(format!("unknown --format `{other}` (jsonl|csv)")),
+            }
+            eprintln!("{} epochs, {} alerts", sampler.summary().epochs, sampler.summary().alerts);
+            Ok(())
+        }
+        "report" => {
+            network.run_secs(secs);
+            let sampler = network.telemetry().expect("telemetry enabled above");
+            print!("{}", digs::telemetry::report(sampler));
+            Ok(())
+        }
+        "top" => {
+            // Live dashboard: advance one epoch at a time and redraw.
+            let total_slots = secs * 100;
+            let mut done = 0u64;
+            while done < total_slots {
+                let step = epoch_slots.min(total_slots - done);
+                network.run(step);
+                done += step;
+                let sampler = network.telemetry().expect("telemetry enabled above");
+                // ANSI home+clear keeps the table in place on a terminal;
+                // on a pipe it degrades to a frame-per-epoch log.
+                print!("\x1b[H\x1b[2J{}", digs::telemetry::report(sampler));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown telemetry subcommand `{other}` (export|report|top)")),
+    }
+}
+
 fn cmd_gate(args: &Args) -> Result<(), String> {
     let mut opts = digs_conformance::GateOptions::new();
     opts.matrix = digs_conformance::MatrixKind::parse(
@@ -401,6 +527,7 @@ fn main() -> ExitCode {
         "graph" => cmd_graph(&args),
         "manager" => cmd_manager(&args),
         "trace" => cmd_trace(&args),
+        "telemetry" => cmd_telemetry(&args),
         "gate" => cmd_gate(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };

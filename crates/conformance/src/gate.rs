@@ -297,6 +297,9 @@ mod tests {
             retry_drops: 0,
             queue_drops: 0,
             audit_violations: 0,
+            telemetry_epochs: None,
+            health_alerts: None,
+            epoch_pdr_min: None,
         };
         degrade(&mut r);
         assert!((r.pdr - 0.45).abs() < 1e-12);

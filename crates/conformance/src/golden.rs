@@ -308,6 +308,9 @@ mod tests {
             retry_drops: 2,
             queue_drops: 0,
             audit_violations: 0,
+            telemetry_epochs: None,
+            health_alerts: None,
+            epoch_pdr_min: None,
         }
     }
 

@@ -160,9 +160,11 @@ impl ScenarioSpec {
                 return self.run_chaos(seed);
             }
         };
-        // The gate never traces: keep runs lean and immune to the
-        // DIGS_TRACE_CAP environment of whoever invokes it.
+        // The gate never traces or samples telemetry: keep runs lean and
+        // immune to the DIGS_TRACE_CAP / DIGS_TELEMETRY_* environment of
+        // whoever invokes it.
         config.trace_cap = Some(0);
+        config.telemetry_epoch = Some(0);
         let specs = config.flows.clone();
         let results = match self.kind {
             Kind::ThreewayFail => {
@@ -209,7 +211,8 @@ impl ScenarioSpec {
             .seed(seed)
             .flows(flows)
             .faults(plan.faults().clone())
-            .trace_cap(0);
+            .trace_cap(0)
+            .telemetry_epoch(0);
         for jammer in plan.jammers() {
             builder = builder.jammer(jammer.clone());
         }

@@ -75,6 +75,15 @@ pub struct RunMetrics {
     /// Invariant violations recorded by the runtime auditor (0 for
     /// unaudited runs).
     pub audit_violations: u64,
+    /// Telemetry epochs sampled (`None` when telemetry was off — the
+    /// golden aggregator skips absent metrics, so gate runs with
+    /// telemetry pinned off are unaffected).
+    pub telemetry_epochs: Option<u64>,
+    /// Health alerts the telemetry monitor raised (`None` as above).
+    pub health_alerts: Option<u64>,
+    /// Lowest non-idle epoch PDR the telemetry stream saw (`None` when
+    /// telemetry was off or no epoch carried traffic).
+    pub epoch_pdr_min: Option<f64>,
 }
 
 /// The scalar metrics a golden check can reference, in canonical order.
@@ -95,6 +104,9 @@ pub const METRIC_KEYS: &[&str] = &[
     "retry_drops",
     "queue_drops",
     "audit_violations",
+    "telemetry_epochs",
+    "health_alerts",
+    "epoch_pdr_min",
 ];
 
 impl RunMetrics {
@@ -108,11 +120,11 @@ impl RunMetrics {
         specs: &[FlowSpec],
         ctx: MetricContext,
     ) -> RunMetrics {
-        let latencies = results.all_latencies_ms();
-        let worst_latency_ms = latencies
-            .iter()
-            .copied()
-            .fold(None, |acc: Option<f64>, l| Some(acc.map_or(l, |a| a.max(l))));
+        let mut latency = digs_metrics::StreamingSummary::new();
+        for l in results.all_latencies_ms() {
+            latency.push(l);
+        }
+        let worst_latency_ms = latency.max();
         let delivered = results.total_delivered();
         let energy_per_packet_mj = if delivered == 0 {
             None
@@ -142,12 +154,11 @@ impl RunMetrics {
                 }
             }
         };
-        let join_times = results.join_times_secs();
-        let mean_join_secs = if join_times.is_empty() {
-            None
-        } else {
-            Some(join_times.iter().sum::<f64>() / join_times.len() as f64)
-        };
+        let mut join = digs_metrics::StreamingSummary::new();
+        for t in results.join_times_secs() {
+            join.push(t);
+        }
+        let mean_join_secs = join.mean();
         let power = results.power_per_received_packet_mw();
         RunMetrics {
             scenario: scenario.to_string(),
@@ -170,7 +181,17 @@ impl RunMetrics {
             retry_drops: results.retry_drops,
             queue_drops: results.queue_drops,
             audit_violations: results.invariant_violations.len() as u64,
+            telemetry_epochs: None,
+            health_alerts: None,
+            epoch_pdr_min: None,
         }
+    }
+
+    /// Attaches a run's telemetry summary (when telemetry was enabled).
+    pub fn attach_telemetry(&mut self, summary: &digs::telemetry::TelemetrySummary) {
+        self.telemetry_epochs = Some(summary.epochs);
+        self.health_alerts = Some(summary.alerts);
+        self.epoch_pdr_min = summary.epoch_pdr_min;
     }
 
     /// The value of one scalar metric by key, `None` when absent for
@@ -193,6 +214,9 @@ impl RunMetrics {
             "retry_drops" => Some(self.retry_drops as f64),
             "queue_drops" => Some(self.queue_drops as f64),
             "audit_violations" => Some(self.audit_violations as f64),
+            "telemetry_epochs" => self.telemetry_epochs.map(|v| v as f64),
+            "health_alerts" => self.health_alerts.map(|v| v as f64),
+            "epoch_pdr_min" => self.epoch_pdr_min,
             _ => None,
         }
     }
@@ -220,6 +244,9 @@ impl RunMetrics {
             ("retry_drops".into(), Value::Num(self.retry_drops as f64)),
             ("queue_drops".into(), Value::Num(self.queue_drops as f64)),
             ("audit_violations".into(), Value::Num(self.audit_violations as f64)),
+            ("telemetry_epochs".into(), Value::opt(self.telemetry_epochs.map(|v| v as f64))),
+            ("health_alerts".into(), Value::opt(self.health_alerts.map(|v| v as f64))),
+            ("epoch_pdr_min".into(), Value::opt(self.epoch_pdr_min)),
         ])
     }
 
@@ -264,6 +291,9 @@ impl RunMetrics {
             retry_drops: u64_field("retry_drops")?,
             queue_drops: u64_field("queue_drops")?,
             audit_violations: u64_field("audit_violations")?,
+            telemetry_epochs: opt_field("telemetry_epochs")?.map(|v| v as u64),
+            health_alerts: opt_field("health_alerts")?.map(|v| v as u64),
+            epoch_pdr_min: opt_field("epoch_pdr_min")?,
         })
     }
 

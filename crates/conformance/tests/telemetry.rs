@@ -1,0 +1,114 @@
+//! Telemetry pipeline integration: determinism of the exported series,
+//! observation-only sampling, and the health monitor catching an
+//! injected fault without crying wolf on a clean run.
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::network::Network;
+use digs::telemetry::{self, HealthRule};
+use digs_sim::interference::Jammer;
+use digs_sim::rf::Dbm;
+use digs_sim::time::{Asn, SLOTS_PER_SECOND};
+use digs_sim::topology::Topology;
+
+/// One run with telemetry pinned on via the config (immune to the
+/// caller's `DIGS_TELEMETRY_*` environment), returning the exported
+/// JSONL series.
+fn telemetry_jsonl(protocol: Protocol, seed: u64, secs: u64) -> String {
+    let config = NetworkConfig::builder(Topology::testbed_a_half())
+        .protocol(protocol)
+        .seed(seed)
+        .random_flows(2, 500, seed)
+        .trace_cap(0)
+        .telemetry_epoch(1000)
+        .telemetry_cap(4096)
+        .build();
+    let mut net = Network::new(config);
+    net.run_secs(secs);
+    let sampler = net.telemetry().expect("telemetry pinned on");
+    telemetry::to_jsonl(sampler)
+}
+
+#[test]
+fn telemetry_jsonl_is_byte_identical_for_all_three_stacks() {
+    for protocol in [Protocol::Digs, Protocol::Orchestra, Protocol::WirelessHart] {
+        let a = telemetry_jsonl(protocol, 7, 90);
+        let b = telemetry_jsonl(protocol, 7, 90);
+        assert!(
+            a.lines().count() > 5,
+            "{}: a 90 s run must sample a non-trivial number of epochs",
+            protocol.name()
+        );
+        assert_eq!(a, b, "{}: telemetry JSONL diverged between identical runs", protocol.name());
+    }
+}
+
+#[test]
+fn telemetry_sampling_is_observation_only() {
+    // Same property the trace layer guarantees: switching the sampler on
+    // must not perturb a single delivery, join, or parent change.
+    let run = |epoch_slots: u64| {
+        let mut net = Network::new(
+            NetworkConfig::builder(Topology::testbed_a_half())
+                .protocol(Protocol::Digs)
+                .seed(11)
+                .random_flows(2, 300, 5)
+                .trace_cap(0)
+                .telemetry_epoch(epoch_slots)
+                .telemetry_cap(4096)
+                .build(),
+        );
+        net.run_secs(60);
+        let r = net.results();
+        (r.total_delivered(), r.total_generated(), r.parent_change_times.len())
+    };
+    assert_eq!(run(0), run(500), "telemetry must be observation-only");
+}
+
+/// A jammed run (same full-band cluster `digs-cli --jam` places: four
+/// WiFi channels covering all sixteen 802.15.4 channels, one elevated
+/// cluster per access point) and its clean twin.
+fn health_run(jam: Option<(u64, u64)>) -> Vec<telemetry::HealthAlert> {
+    let topology = Topology::testbed_a_half();
+    let ap_positions: Vec<_> =
+        topology.access_points().iter().map(|ap| topology.position(*ap)).collect();
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(Protocol::Digs)
+        .seed(7)
+        .random_flows(2, 500, 7)
+        .trace_cap(0)
+        .telemetry_epoch(1000)
+        .telemetry_cap(4096);
+    if let Some((start, end)) = jam {
+        for (i, pos) in ap_positions.iter().enumerate() {
+            for (k, wifi_ch) in [1u8, 5, 9, 13].into_iter().enumerate() {
+                let mut j =
+                    Jammer::wifi(*pos, wifi_ch, Asn::from_secs(start)).until(Asn::from_secs(end));
+                j.tx_power = Dbm(24.0);
+                j.salt = 0x9a7 ^ ((i as u64) << 8) ^ k as u64;
+                builder = builder.jammer(j);
+            }
+        }
+    }
+    let mut net = Network::new(builder.build());
+    net.run_secs(300);
+    net.telemetry().expect("telemetry pinned on").alerts().to_vec()
+}
+
+#[test]
+fn health_monitor_catches_injected_jam_and_stays_quiet_on_clean_runs() {
+    let clean = health_run(None);
+    assert!(clean.is_empty(), "clean run must raise no alerts, got {clean:?}");
+
+    let (jam_start, jam_end) = (150u64, 210u64);
+    let alerts = health_run(Some((jam_start, jam_end)));
+    let fault_slots = (jam_start * SLOTS_PER_SECOND)..(jam_end * SLOTS_PER_SECOND);
+    let overlapping: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.rule == HealthRule::PdrCollapse)
+        .filter(|a| a.asn_start < fault_slots.end && a.asn_end > fault_slots.start)
+        .collect();
+    assert!(
+        !overlapping.is_empty(),
+        "expected a pdr-collapse alert overlapping the {jam_start}-{jam_end} s jam, got {alerts:?}"
+    );
+}

@@ -66,6 +66,14 @@ pub struct NetworkConfig {
     /// the `DIGS_TRACE_CAP` environment variable; `Some(0)` forces tracing
     /// off regardless of the environment.
     pub trace_cap: Option<usize>,
+    /// Telemetry sampling cadence in slots. `None` defers to the
+    /// `DIGS_TELEMETRY_EPOCH` environment variable (unset or 0 = off);
+    /// `Some(0)` forces telemetry off regardless of the environment.
+    pub telemetry_epoch: Option<u64>,
+    /// Maximum retained epoch snapshots (oldest dropped first). `None`
+    /// defers to `DIGS_TELEMETRY_CAP` (default 4096); `Some(0)` forces
+    /// telemetry off regardless of the environment.
+    pub telemetry_cap: Option<usize>,
 }
 
 impl NetworkConfig {
@@ -87,6 +95,8 @@ impl NetworkConfig {
                 queue_capacity: 8,
                 max_cycles: 3,
                 trace_cap: None,
+                telemetry_epoch: None,
+                telemetry_cap: None,
             },
         }
     }
@@ -192,6 +202,22 @@ impl NetworkConfigBuilder {
     /// environment variable decides.
     pub fn trace_cap(mut self, cap: usize) -> Self {
         self.config.trace_cap = Some(cap);
+        self
+    }
+
+    /// Enables epoch telemetry sampling every `slots` slots (0 forces it
+    /// off). Without this call the `DIGS_TELEMETRY_EPOCH` environment
+    /// variable decides.
+    pub fn telemetry_epoch(mut self, slots: u64) -> Self {
+        self.config.telemetry_epoch = Some(slots);
+        self
+    }
+
+    /// Caps the retained telemetry epochs (0 forces telemetry off).
+    /// Without this call the `DIGS_TELEMETRY_CAP` environment variable
+    /// decides, defaulting to 4096.
+    pub fn telemetry_cap(mut self, cap: usize) -> Self {
+        self.config.telemetry_cap = Some(cap);
         self
     }
 

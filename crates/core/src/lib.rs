@@ -52,6 +52,7 @@ pub mod queue;
 pub mod results;
 pub mod scenarios;
 pub mod stack;
+pub mod telemetry;
 pub mod timeline;
 pub mod watchdog;
 

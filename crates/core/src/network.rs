@@ -6,6 +6,7 @@ use crate::audit::{
 use crate::config::{NetworkConfig, Protocol};
 use crate::results::{FlowResult, NodeResult, RunResults};
 use crate::stack::{DigsStack, OrchestraStack, ProtocolStack};
+use crate::telemetry::{TelemetrySampler, TelemetrySettings};
 use digs_routing::graph::{GraphEntry, RoutingGraph};
 use digs_sim::engine::Engine;
 use digs_sim::ids::NodeId;
@@ -32,6 +33,10 @@ pub struct Network {
     /// violation `run_audited` recorded (empty until then, or when tracing
     /// is off).
     violation_window: Vec<Event>,
+    /// Epoch telemetry sampler + health monitor. `None` when telemetry is
+    /// disabled — the disabled path allocates nothing and [`Network::run`]
+    /// is the plain engine loop.
+    telemetry: Option<Box<TelemetrySampler>>,
 }
 
 impl Network {
@@ -114,6 +119,13 @@ impl Network {
                 stack.set_trace(trace.clone());
             }
         }
+        let telemetry = TelemetrySettings::resolve(&config).map(|settings| {
+            Box::new(TelemetrySampler::new(
+                settings,
+                crate::telemetry::HealthConfig::default(),
+                config.topology.len(),
+            ))
+        });
         Network {
             config,
             engine,
@@ -122,6 +134,7 @@ impl Network {
             loop_signature: Vec::new(),
             loop_streak: 0,
             violation_window: Vec::new(),
+            telemetry,
         }
     }
 
@@ -151,9 +164,44 @@ impl Network {
         self.engine.trace()
     }
 
-    /// Runs for `slots` slots.
+    /// Runs for `slots` slots. With telemetry enabled the run is chunked
+    /// to epoch boundaries (multiples of the cadence on the global slot
+    /// clock) and sampled at each; sampling only observes, so outcomes
+    /// are identical to an unsampled run.
     pub fn run(&mut self, slots: u64) {
-        self.engine.run(&mut self.stacks, slots);
+        let Some(sampler) = &self.telemetry else {
+            self.engine.run(&mut self.stacks, slots);
+            return;
+        };
+        let every = sampler.settings().epoch_slots;
+        let end = self.engine.asn().0 + slots;
+        while self.engine.asn().0 < end {
+            let next_epoch = (self.engine.asn().0 / every + 1) * every;
+            let step = next_epoch.min(end) - self.engine.asn().0;
+            self.engine.run(&mut self.stacks, step);
+            if self.engine.asn().0.is_multiple_of(every) {
+                let sampler = self.telemetry.as_mut().expect("checked above");
+                let alerts = sampler.sample(&self.engine, &self.stacks, &self.config);
+                if !alerts.is_empty() && self.engine.trace().is_on() {
+                    for a in &alerts {
+                        self.engine.trace().record(
+                            a.asn_end,
+                            digs_trace::NETWORK_NODE,
+                            EventKind::HealthAlert {
+                                rule: a.rule.as_str().to_owned(),
+                                detail: a.detail.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The telemetry sampler, if enabled (see
+    /// [`crate::config::NetworkConfig::telemetry_epoch`]).
+    pub fn telemetry(&self) -> Option<&TelemetrySampler> {
+        self.telemetry.as_deref()
     }
 
     /// Replaces the failure schedule mid-run (used by the node-failure
@@ -202,7 +250,9 @@ impl Network {
         while self.engine.asn().0 < end {
             let next_audit = (self.engine.asn().0 / every + 1) * every;
             let step = next_audit.min(end) - self.engine.asn().0;
-            self.engine.run(&mut self.stacks, step);
+            // Through `run`, not the engine directly, so telemetry epochs
+            // keep sampling inside audited runs.
+            self.run(step);
             if self.engine.asn().0.is_multiple_of(every) {
                 let recorded_before = self.violations.len();
                 let snapshot = self.audit_snapshot();

@@ -151,6 +151,15 @@ impl ProtocolStack {
         }
     }
 
+    /// Packets currently queued in the node's application queue(s).
+    pub fn app_queue_len(&self) -> usize {
+        match self {
+            ProtocolStack::Digs(s) => s.app_queue_len(),
+            ProtocolStack::Orchestra(s) => s.app_queue_len(),
+            ProtocolStack::WirelessHart(s) => s.app_queue_len(),
+        }
+    }
+
     /// Installs the flight-recorder handle (shared with the engine). A
     /// default-constructed stack records nothing.
     pub fn set_trace(&mut self, trace: digs_trace::TraceHandle) {

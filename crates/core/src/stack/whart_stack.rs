@@ -142,6 +142,16 @@ impl WhartStack {
         self.cells.len()
     }
 
+    /// Packets currently queued across this node's per-flow queues.
+    pub fn app_queue_len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// The installed superframe length in slots.
+    pub fn superframe_len(&self) -> u32 {
+        self.superframe_len
+    }
+
     fn generate(&mut self, asn: Asn) {
         for i in 0..self.flows.len() {
             let flow = self.flows[i];

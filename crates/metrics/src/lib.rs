@@ -4,11 +4,21 @@
 //! the per-figure benchmark binaries: summary statistics ([`Summary`]),
 //! empirical CDFs ([`Cdf`]) matching the paper's CDF figures, and boxplot
 //! five-number summaries ([`BoxplotStats`]) matching its boxplot figures.
+//!
+//! The telemetry layer builds on the same crate: a named-metric
+//! [`Registry`] of monotonic [`Counter`]s and [`Gauge`]s, deterministic
+//! log-bucketed [`LogHistogram`]s, and the one-pass [`StreamingSummary`]
+//! used where buffering full sample vectors would defeat the point of
+//! epoch sampling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod histogram;
+pub mod registry;
 pub mod stats;
 
-pub use stats::{BoxplotStats, Cdf, ConfidenceInterval, Summary};
+pub use histogram::LogHistogram;
+pub use registry::{Counter, Gauge, Registry};
+pub use stats::{BoxplotStats, Cdf, ConfidenceInterval, StreamingSummary, Summary};

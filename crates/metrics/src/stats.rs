@@ -44,6 +44,140 @@ impl Summary {
             std_dev: var.sqrt(),
         })
     }
+
+    /// Starts a one-pass streaming accumulator (no sample buffering, so no
+    /// median). See [`StreamingSummary`].
+    pub fn streaming() -> StreamingSummary {
+        StreamingSummary::new()
+    }
+}
+
+/// One-pass streaming summary statistics (Welford's online algorithm):
+/// count, mean, variance, min, and max without buffering the sample
+/// vector. The telemetry epoch sampler uses this so per-epoch statistics
+/// cost O(1) memory; unlike [`Summary`] there is no median (that requires
+/// the full sample — use a histogram quantile instead).
+///
+/// Non-finite samples are ignored (mirroring [`Summary::of`], which
+/// rejects them wholesale; a streaming accumulator cannot reject
+/// retroactively, so it skips them).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> StreamingSummary {
+        StreamingSummary::new()
+    }
+}
+
+impl StreamingSummary {
+    /// An empty accumulator.
+    pub fn new() -> StreamingSummary {
+        StreamingSummary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in (Welford update). Non-finite samples are
+    /// ignored.
+    pub fn push(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Merges another accumulator in (Chan et al.'s parallel combination),
+    /// so per-shard summaries can be reduced without re-streaming.
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64 / total as f64);
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) samples folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Minimum, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sample variance (0 for fewer than 2 samples), matching
+    /// [`Summary::of`]'s `n - 1` denominator.
+    pub fn variance(&self) -> f64 {
+        if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl fmt::Display for StreamingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.count {
+            0 => write!(f, "n=0"),
+            _ => write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+                self.count,
+                self.mean,
+                self.min,
+                self.max,
+                self.std_dev()
+            ),
+        }
+    }
 }
 
 impl fmt::Display for Summary {
@@ -59,12 +193,16 @@ impl fmt::Display for Summary {
 /// Percentile (0–100) of an ascending-sorted slice with linear
 /// interpolation.
 ///
+/// Out-of-range `p` is clamped into `[0, 100]` (so `p < 0` yields the
+/// minimum and `p > 100` the maximum); a NaN `p` is treated as 0. A
+/// single-sample slice returns that sample for every `p`.
+///
 /// # Panics
 ///
-/// Panics if the slice is empty or `p` is outside `[0, 100]`.
+/// Panics if the slice is empty.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of an empty sample");
-    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -118,7 +256,8 @@ impl Cdf {
         (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
     }
 
-    /// The `p`-th percentile value.
+    /// The `p`-th percentile value. Out-of-range `p` is clamped into
+    /// `[0, 100]` (NaN is treated as 0), matching [`percentile_sorted`].
     pub fn percentile(&self, p: f64) -> f64 {
         percentile_sorted(&self.sorted, p)
     }
@@ -310,6 +449,89 @@ mod tests {
     }
 
     #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&sorted, -10.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 250.0), 3.0);
+        assert_eq!(percentile_sorted(&sorted, f64::NEG_INFINITY), 1.0);
+        assert_eq!(percentile_sorted(&sorted, f64::INFINITY), 3.0);
+        // NaN p is treated as 0 rather than poisoning the result.
+        assert_eq!(percentile_sorted(&sorted, f64::NAN), 1.0);
+        let cdf = Cdf::new([1.0, 2.0, 3.0]).expect("ok");
+        assert_eq!(cdf.percentile(-1.0), 1.0);
+        assert_eq!(cdf.percentile(101.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        for p in [-5.0, 0.0, 37.5, 100.0, 400.0, f64::NAN] {
+            assert_eq!(percentile_sorted(&[42.0], p), 42.0);
+        }
+    }
+
+    #[test]
+    fn streaming_summary_matches_batch() {
+        let samples = [3.0, -1.5, 8.25, 0.0, 2.0, 2.0, 7.125];
+        let batch = Summary::of(&samples).expect("ok");
+        let mut s = Summary::streaming();
+        for v in samples {
+            s.push(v);
+        }
+        assert_eq!(s.count(), samples.len() as u64);
+        assert!((s.mean().unwrap() - batch.mean).abs() < 1e-12);
+        assert_eq!(s.min().unwrap(), batch.min);
+        assert_eq!(s.max().unwrap(), batch.max);
+        assert!((s.std_dev() - batch.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_summary_empty_and_singleton() {
+        let mut s = StreamingSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), 0.0);
+        s.push(4.0);
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn streaming_summary_ignores_non_finite() {
+        let mut s = StreamingSummary::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn streaming_merge_matches_single_stream() {
+        let (left, right) = ([1.0, 2.0, 3.0], [10.0, 20.0]);
+        let mut a = StreamingSummary::new();
+        left.iter().for_each(|v| a.push(*v));
+        let mut b = StreamingSummary::new();
+        right.iter().for_each(|v| b.push(*v));
+        let mut whole = StreamingSummary::new();
+        left.iter().chain(&right).for_each(|v| whole.push(*v));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merging into / from empty is the identity.
+        let mut empty = StreamingSummary::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let snapshot = a;
+        a.merge(&StreamingSummary::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
     fn cdf_fractions() {
         let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0]).expect("non-empty");
         assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
@@ -407,5 +629,41 @@ mod tests {
     fn boxplot_rejects_bad_input() {
         assert!(BoxplotStats::of(&[]).is_none());
         assert!(BoxplotStats::of(&[f64::NAN]).is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn streaming_summary_equals_batch_summary(
+            samples in proptest::collection::vec(-1e6f64..1e6, 1..200)
+        ) {
+            let batch = Summary::of(&samples).expect("finite, non-empty");
+            let mut s = Summary::streaming();
+            for v in &samples {
+                s.push(*v);
+            }
+            prop_assert_eq!(s.count(), samples.len() as u64);
+            prop_assert!((s.mean().unwrap() - batch.mean).abs() < 1e-6);
+            prop_assert_eq!(s.min().unwrap(), batch.min);
+            prop_assert_eq!(s.max().unwrap(), batch.max);
+            prop_assert!((s.std_dev() - batch.std_dev).abs() < 1e-6);
+        }
+
+        #[test]
+        fn percentile_is_total_on_any_p(
+            mut samples in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            p in any::<f64>()
+        ) {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let v = percentile_sorted(&samples, p);
+            // Whatever p is thrown at it, the result is a real value
+            // within the sample range.
+            prop_assert!(v >= samples[0] && v <= samples[samples.len() - 1]);
+        }
     }
 }

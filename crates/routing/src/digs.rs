@@ -191,6 +191,13 @@ impl DigsRouting {
         &self.neighbors
     }
 
+    /// Current Trickle interval in slots (doubles while the DODAG is
+    /// quiet, resets on inconsistency) — a cheap convergence-state gauge
+    /// for the telemetry layer.
+    pub fn trickle_interval(&self) -> u64 {
+        self.trickle.interval()
+    }
+
     /// Accumulated ETX to the access points through `via` (Algorithm 1's
     /// `ETXa`), or `None` if `via` is unknown.
     pub fn accumulated_etx(&self, via: NodeId) -> Option<f64> {

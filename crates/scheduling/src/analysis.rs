@@ -85,9 +85,31 @@ pub fn digs_skip_probabilities(
     )
 }
 
+/// Fraction of a slotframe's slots claimed by scheduled cells, clamped
+/// to `[0, 1]`. Unlike [`SlotframeOccupancy::density`] this is total on
+/// any input (a zero-length slotframe reads as fully utilized, and
+/// over-claiming saturates at 1.0), which is what the telemetry gauge
+/// needs: it observes live scheduler state mid-convergence, where
+/// transient over-subscription is normal rather than a caller bug.
+pub fn slotframe_utilization(claimed: usize, length: u32) -> f64 {
+    if length == 0 {
+        return 1.0;
+    }
+    (claimed as f64 / f64::from(length)).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slotframe_utilization_is_total_and_clamped() {
+        assert_eq!(slotframe_utilization(0, 101), 0.0);
+        assert!((slotframe_utilization(5, 101) - 5.0 / 101.0).abs() < 1e-12);
+        assert_eq!(slotframe_utilization(101, 101), 1.0);
+        assert_eq!(slotframe_utilization(500, 101), 1.0, "over-claiming saturates");
+        assert_eq!(slotframe_utilization(3, 0), 1.0, "zero-length reads as full");
+    }
 
     #[test]
     fn contention_zero_load_is_zero() {

@@ -403,11 +403,16 @@ impl Engine {
                         acked[best_idx] = true;
                     }
                 }
+            } else if cands.len() > 1 {
+                self.stats.collision_drops += 1;
+            } else {
+                self.stats.noise_drops += 1;
             }
         }
 
         // Phase 4: stats + energy for transmitters.
         for (k, tx) in committed.iter().enumerate() {
+            self.stats.channel_tx[committed_channels[k].0 as usize] += 1;
             let meter = &mut self.energy[tx.node.index()];
             meter.charge_tx(tx.frame.airtime_us());
             if tx.frame.dst.expects_ack() {

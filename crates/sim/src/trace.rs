@@ -35,6 +35,16 @@ pub struct EngineStats {
     pub unacked_no_listener: u64,
     /// Slots simulated.
     pub slots: u64,
+    /// Committed transmissions per physical channel (index = channel
+    /// number, 0..NUM_CHANNELS) — the occupancy signal behind the
+    /// telemetry per-channel time series.
+    pub channel_tx: [u64; 16],
+    /// Receptions lost to the PRR roll with no co-channel contender
+    /// (noise / weak signal).
+    pub noise_drops: u64,
+    /// Receptions lost to the PRR roll while at least one other frame
+    /// contended on the same channel (interference-degraded SINR).
+    pub collision_drops: u64,
 }
 
 impl EngineStats {

@@ -304,6 +304,13 @@ pub enum EventKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// The telemetry health monitor raised an alert at an epoch boundary.
+    HealthAlert {
+        /// Rule wire name (e.g. `pdr-collapse`, `churn-storm`).
+        rule: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl EventKind {
@@ -348,6 +355,7 @@ impl EventKind {
             EventKind::NodeReset => "node-reset",
             EventKind::ClockDesync => "clock-desync",
             EventKind::AuditViolation { .. } => "audit-violation",
+            EventKind::HealthAlert { .. } => "health-alert",
         }
     }
 }
@@ -429,6 +437,7 @@ impl fmt::Display for Event {
                 }
             }
             EventKind::AuditViolation { kind, detail } => write!(f, " {kind}: {detail}")?,
+            EventKind::HealthAlert { rule, detail } => write!(f, " {rule}: {detail}")?,
             _ => {}
         }
         Ok(())

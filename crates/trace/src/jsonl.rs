@@ -124,6 +124,12 @@ fn write_event(out: &mut String, event: &Event) {
             out.push_str(",\"detail\":");
             write_json_string(out, detail);
         }
+        EventKind::HealthAlert { rule, detail } => {
+            out.push_str(",\"rule\":");
+            write_json_string(out, rule);
+            out.push_str(",\"detail\":");
+            write_json_string(out, detail);
+        }
     }
     out.push('}');
 }
@@ -495,6 +501,10 @@ fn decode_event(value: &Value) -> Result<Event, String> {
             kind: value.field("kind")?.as_str()?.to_owned(),
             detail: value.field("detail")?.as_str()?.to_owned(),
         },
+        "health-alert" => EventKind::HealthAlert {
+            rule: value.field("rule")?.as_str()?.to_owned(),
+            detail: value.field("detail")?.as_str()?.to_owned(),
+        },
         other => return Err(format!("unknown event name \"{other}\"")),
     };
     Ok(Event { seq, asn, node, kind })
@@ -595,6 +605,15 @@ mod tests {
                 kind: EventKind::AuditViolation {
                     kind: "routing-loop".into(),
                     detail: "cycle #1 → #2 → \"#1\"\nwith newline\ttab".into(),
+                },
+            },
+            Event {
+                seq: 21,
+                asn: 170,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::HealthAlert {
+                    rule: "pdr-collapse".into(),
+                    detail: "flow 0 epoch PDR 0.42 < 0.70".into(),
                 },
             },
         ]
