@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! digs-cli run [--topology T] [--protocol P] [--secs N] [--flows N]
-//!              [--period-ms N] [--jammers N] [--seed N] [--json]
+//!              [--period-ms N] [--jammers N] [--adaptive-jam START]
+//!              [--randomize SECRET] [--seed N] [--json]
 //! digs-cli topology [--topology T]
 //! digs-cli graph [--topology T] [--protocol P] [--secs N] [--seed N]
 //! digs-cli manager [--topology T] [--flows N]
@@ -24,6 +25,14 @@
 //! stream: `journeys` reconstructs hop-by-hop packet journeys and prints
 //! the latency breakdown, `churn` prints the parent-churn/repair timeline,
 //! and `dump` writes the raw events as JSONL to stdout.
+//!
+//! `--adaptive-jam START` drops one adaptive schedule-learning jammer
+//! next to every access point, switching on at `START` seconds (it then
+//! sniffs for 30 s before selectively jamming the busiest cells).
+//! `--randomize SECRET` enables the DiGS schedule-randomization defense
+//! with the given shared secret (0 = off). Both work with every
+//! run-flavored command, so `run`, `trace`, and `telemetry` can stage the
+//! attack, the defense, or the duel.
 //!
 //! The `telemetry` commands run a network with epoch sampling enabled
 //! (`--epoch-slots` per epoch, default 1000 = 10 s) and the health
@@ -99,7 +108,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: digs-cli <run|topology|graph|manager|trace|telemetry|gate> [--topology T] \
-     [--protocol P] [--secs N] [--flows N] [--period-ms N] [--jammers N] [--seed N] [--json]\n\
+     [--protocol P] [--secs N] [--flows N] [--period-ms N] [--jammers N] \
+     [--adaptive-jam START] [--randomize SECRET] [--seed N] [--json]\n\
      trace subcommands: journeys [--min-complete N] | churn | dump  \
      (plus --trace-cap N, default 65536)\n\
      telemetry subcommands: export [--format jsonl|csv] | report | top  \
@@ -188,6 +198,22 @@ fn build_network(args: &Args, extras: BuildExtras) -> Result<Network, String> {
     for i in 0..jammers {
         let pos = Position::new(12.0 + 14.0 * i as f64, 8.0 + 5.0 * i as f64);
         builder = builder.jammer(Jammer::wifi(pos, [1u8, 6, 11][i % 3], Asn::from_secs(60)));
+    }
+    if let Some(start) = args.options.get("adaptive-jam") {
+        let start: u64 = start.parse().map_err(|e| format!("bad --adaptive-jam: {e}"))?;
+        let app_len = digs_scheduling::SlotframeLengths::paper().app;
+        for (i, pos) in ap_positions.iter().enumerate() {
+            builder = builder.jammer(Jammer::adaptive(
+                Position::new(pos.x + 2.0, pos.y + 2.0),
+                app_len,
+                Asn::from_secs(start),
+                0xada9 ^ ((i as u64) << 8),
+            ));
+        }
+    }
+    if let Some(secret) = args.options.get("randomize") {
+        let secret: u64 = secret.parse().map_err(|e| format!("bad --randomize: {e}"))?;
+        builder = builder.randomize(secret);
     }
     if let Some((start, end)) = extras.jam {
         if end <= start {

@@ -83,8 +83,12 @@ const GATED: &[&str] = &[
 
 /// Derives the `[lo, hi]` tolerance band for a gated aggregate observed
 /// at `observed`. `floor` is an optional absolute lower bound (the
-/// paper-derived Fig. 5 floor) that tightens `lo` upward.
-pub fn band(key: &str, observed: f64, floor: Option<f64>) -> (f64, f64) {
+/// paper-derived Fig. 5 floor) that tightens `lo` upward; `ceiling` is an
+/// optional absolute upper bound (the adversarial-gate attack ceiling)
+/// that tightens `hi` downward — an attack scenario whose victim PDR
+/// *recovers* above the ceiling means the attack stopped working, which
+/// is just as much a conformance failure as a regression.
+pub fn band(key: &str, observed: f64, floor: Option<f64>, ceiling: Option<f64>) -> (f64, f64) {
     // Ratio metrics: absolute slack, upper bound clamped to 1.
     let ratio = |slack_lo: f64, slack_hi: f64| {
         ((observed - slack_lo).max(0.0), (observed + slack_hi).min(1.0))
@@ -116,8 +120,12 @@ pub fn band(key: &str, observed: f64, floor: Option<f64>) -> (f64, f64) {
         "audit_violations.max" => (0.0, observed),
         _ => rel(0.50, 1.0),
     };
-    match floor {
+    let (lo, hi) = match floor {
         Some(f) => (lo.max(f), hi.max(f)),
+        None => (lo, hi),
+    };
+    match ceiling {
+        Some(c) => (lo.min(c), hi.min(c)),
         None => (lo, hi),
     }
 }
@@ -182,10 +190,10 @@ impl Golden {
                     .iter()
                     .filter(|(key, _)| GATED.contains(&key.as_str()))
                     .map(|(key, observed)| {
-                        let floor = (key == "windowed_pdr_median.median")
-                            .then_some(spec.windowed_pdr_floor)
-                            .flatten();
-                        let (lo, hi) = band(key, *observed, floor);
+                        let is_windowed = key == "windowed_pdr_median.median";
+                        let floor = is_windowed.then_some(spec.windowed_pdr_floor).flatten();
+                        let ceiling = is_windowed.then_some(spec.windowed_pdr_ceiling).flatten();
+                        let (lo, hi) = band(key, *observed, floor, ceiling);
                         Check { metric: key.clone(), observed: *observed, lo, hi }
                     })
                     .collect();
@@ -335,33 +343,49 @@ mod tests {
 
     #[test]
     fn bands_clamp_ratios_to_unit_interval() {
-        let (lo, hi) = band("pdr.median", 0.99, None);
+        let (lo, hi) = band("pdr.median", 0.99, None, None);
         assert!(lo < 0.99 && hi <= 1.0);
-        let (lo, _) = band("pdr.min", 0.05, None);
+        let (lo, _) = band("pdr.min", 0.05, None, None);
         assert!(lo >= 0.0);
     }
 
     #[test]
     fn repair_band_is_tight_but_not_degenerate() {
-        let (lo, hi) = band("repair_time_secs.median", 10.0, None);
+        let (lo, hi) = band("repair_time_secs.median", 10.0, None, None);
         assert!((lo - 6.0).abs() < 1e-9 && (hi - 14.0).abs() < 1e-9);
         // Small medians fall back to the absolute slack.
-        let (lo, hi) = band("repair_time_secs.median", 1.0, None);
+        let (lo, hi) = band("repair_time_secs.median", 1.0, None, None);
         assert!(lo == 0.0 && hi == 3.0);
     }
 
     #[test]
     fn paper_floor_tightens_the_lower_bound() {
-        let (lo, _) = band("windowed_pdr_median.median", 0.97, Some(0.85));
+        let (lo, _) = band("windowed_pdr_median.median", 0.97, Some(0.85), None);
         assert!((lo - 0.94).abs() < 1e-9, "band slack wins when above the floor");
-        let (lo, _) = band("windowed_pdr_median.median", 0.86, Some(0.85));
+        let (lo, _) = band("windowed_pdr_median.median", 0.86, Some(0.85), None);
         assert!((lo - 0.85).abs() < 1e-9, "floor wins when the band dips below it");
+    }
+
+    #[test]
+    fn attack_ceiling_tightens_the_upper_bound() {
+        // A collapsed victim PDR sits far under the ceiling: the band's
+        // own slack applies unchanged.
+        let (lo, hi) = band("windowed_pdr_median.median", 0.11, None, Some(0.65));
+        assert!((lo - 0.08).abs() < 1e-9 && (hi - 0.14).abs() < 1e-9);
+        // An observation near the ceiling clamps `hi` down — a recovering
+        // victim means the attack stopped working, which must fail the
+        // gate rather than slide through as drift.
+        let (_, hi) = band("windowed_pdr_median.median", 0.64, None, Some(0.65));
+        assert!((hi - 0.65).abs() < 1e-9, "ceiling wins when the band rises above it");
+        // Floor and ceiling compose without crossing.
+        let (lo, hi) = band("windowed_pdr_median.median", 0.5, Some(0.4), Some(0.6));
+        assert!(lo <= hi && (lo - 0.47).abs() < 1e-9 && (hi - 0.53).abs() < 1e-9);
     }
 
     #[test]
     fn violations_band_pins_increases() {
         let c = {
-            let (lo, hi) = band("audit_violations.max", 0.0, None);
+            let (lo, hi) = band("audit_violations.max", 0.0, None, None);
             Check { metric: "audit_violations.max".into(), observed: 0.0, lo, hi }
         };
         assert!(c.passes(0.0));

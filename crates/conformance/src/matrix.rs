@@ -42,6 +42,25 @@ pub const FIG5_PAPER_MEDIANS: [f64; 4] = [0.90, 0.87, 0.845, 0.825];
 /// Slack under the paper median allowed before the floor trips.
 pub const FIG5_FLOOR_SLACK: f64 = 0.05;
 
+/// When the adaptive jammer's learning window ends and selective jamming
+/// begins, seconds into the run ([`digs_sim::interference::Jammer::adaptive`]
+/// sniffs for 3 000 slots = 30 s after switching on). The adversarial
+/// scenarios start their PDR window here so the metric measures the
+/// schedule under active attack, not diluted by the silent learning phase.
+pub const ADAPTIVE_ACTIVE_SECS: u64 = scenarios::JAM_START_SECS + 30;
+
+/// Adversarial-gate attack bound: a working schedule-learning attack must
+/// hold the victim windowed-PDR median at or below this ceiling. The clean
+/// (and defended) baseline sits near 0.95+, so the ceiling asserts the
+/// attack cuts at least ~30 % of delivery during the jamming window.
+pub const ADAPTIVE_ATTACK_PDR_CEILING: f64 = 0.65;
+
+/// Adversarial-gate defense bound: with schedule randomization on, the
+/// windowed-PDR median must stay at or above this floor — within normal
+/// interference tolerance of the clean baseline — both with the jammers
+/// present (duel) and without them (overhead check).
+pub const ADAPTIVE_DEFENSE_PDR_FLOOR: f64 = 0.85;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     /// Fig. 9: Testbed A, 8 flows, 3 WiFi jammers.
@@ -62,6 +81,15 @@ enum Kind {
     ThreewayFail,
     /// Randomized chaos soak with the runtime invariant auditor on.
     Chaos,
+    /// Adversarial attack: adaptive schedule-learning jammers parked at
+    /// the access points, no defense.
+    AdaptiveJam,
+    /// Defense-overhead leg: schedule randomization on, no jammers,
+    /// runtime auditor on (the permutation must not break Eq. 4).
+    Randomized,
+    /// Attack-vs-defense duel: adaptive jammers against a randomized
+    /// schedule, runtime auditor on.
+    AdaptiveDuel,
 }
 
 impl Kind {
@@ -77,6 +105,10 @@ impl Kind {
             Kind::ThreewayClean => 120,
             Kind::ThreewayFail => THREEWAY_FAIL_END_SECS + 60,
             Kind::Chaos => CHAOS_WARMUP_SECS + CHAOS_TAIL_SECS + 60,
+            // Adversarial legs need the learning window plus a solid
+            // stretch of active jamming inside the PDR window.
+            Kind::AdaptiveJam | Kind::AdaptiveDuel => ADAPTIVE_ACTIVE_SECS + 120,
+            Kind::Randomized => ADAPTIVE_ACTIVE_SECS + 120,
         }
     }
 }
@@ -91,8 +123,13 @@ pub struct ScenarioSpec {
     /// Simulated seconds per run.
     pub secs: u64,
     /// Absolute floor for the `windowed_pdr_median` golden check, when
-    /// the paper states one (Fig. 5).
+    /// the paper states one (Fig. 5) or the adversarial gate requires the
+    /// defense to hold delivery up.
     pub windowed_pdr_floor: Option<f64>,
+    /// Absolute ceiling for the `windowed_pdr_median` golden check: the
+    /// adversarial attack legs must keep the victim PDR at or below it,
+    /// or the attack has regressed into ineffectiveness.
+    pub windowed_pdr_ceiling: Option<f64>,
     kind: Kind,
     topology: Topology,
 }
@@ -104,6 +141,7 @@ impl ScenarioSpec {
             protocol,
             secs: secs.max(kind.min_secs()),
             windowed_pdr_floor: None,
+            windowed_pdr_ceiling: None,
             kind,
             topology: topology.clone(),
         }
@@ -118,6 +156,13 @@ impl ScenarioSpec {
             repair_event_secs: Some(scenarios::JAM_START_SECS),
             repair_settle_secs: REPAIR_SETTLE_SECS,
             window_start_slot: Some(scenarios::JAM_START_SECS * SLOTS_PER_SECOND),
+        };
+        // Adversarial legs measure PDR only while the sniffer actively
+        // jams (its learning phase is silent).
+        let adaptive_ctx = MetricContext {
+            repair_event_secs: Some(scenarios::JAM_START_SECS),
+            repair_settle_secs: REPAIR_SETTLE_SECS,
+            window_start_slot: Some(ADAPTIVE_ACTIVE_SECS * SLOTS_PER_SECOND),
         };
         let (mut config, ctx) = match self.kind {
             Kind::TestbedAInterference => {
@@ -159,6 +204,20 @@ impl ScenarioSpec {
             Kind::Chaos => {
                 return self.run_chaos(seed);
             }
+            Kind::AdaptiveJam => {
+                (scenarios::testbed_a_adaptive_jam_on(topology, self.protocol, seed), adaptive_ctx)
+            }
+            Kind::Randomized => (
+                scenarios::testbed_a_randomized_on(topology, self.protocol, seed),
+                MetricContext {
+                    repair_event_secs: None,
+                    repair_settle_secs: 0,
+                    window_start_slot: Some(ADAPTIVE_ACTIVE_SECS * SLOTS_PER_SECOND),
+                },
+            ),
+            Kind::AdaptiveDuel => {
+                (scenarios::testbed_a_adaptive_duel_on(topology, self.protocol, seed), adaptive_ctx)
+            }
         };
         // The gate never traces or samples telemetry: keep runs lean and
         // immune to the DIGS_TRACE_CAP / DIGS_TELEMETRY_* environment of
@@ -178,6 +237,14 @@ impl ScenarioSpec {
                     )));
                 }
                 network.run_secs(secs - THREEWAY_FAIL_START_SECS);
+                network.results()
+            }
+            // The defense legs run audited: the golden pins their
+            // `audit_violations.max` to zero, proving the per-epoch
+            // permutation never breaks Eq. 4 conflict-freedom.
+            Kind::Randomized | Kind::AdaptiveDuel => {
+                let mut network = Network::new(config);
+                network.run_audited(secs * SLOTS_PER_SECOND, AUDIT_EVERY_SLOTS);
                 network.results()
             }
             _ => digs::experiment::run_for(config, secs),
@@ -305,6 +372,37 @@ fn jammer_sweep_specs(
         .collect()
 }
 
+/// The adversarial family: attack legs per requested protocol, plus the
+/// DiGS-only defense-overhead and duel legs (schedule randomization is a
+/// DiGS mechanism — Orchestra has no Eq. 4 schedule to permute).
+fn adversarial_specs(
+    testbed_a: &Topology,
+    secs: u64,
+    attack_protocols: &[Protocol],
+) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &protocol in attack_protocols {
+        let mut attack = ScenarioSpec::new(
+            &format!("adv-attack-{}", protocol.name()),
+            protocol,
+            secs,
+            Kind::AdaptiveJam,
+            testbed_a,
+        );
+        attack.windowed_pdr_ceiling = Some(ADAPTIVE_ATTACK_PDR_CEILING);
+        specs.push(attack);
+    }
+    let mut defense =
+        ScenarioSpec::new("adv-defense-digs", Protocol::Digs, secs, Kind::Randomized, testbed_a);
+    defense.windowed_pdr_floor = Some(ADAPTIVE_DEFENSE_PDR_FLOOR);
+    specs.push(defense);
+    let mut duel =
+        ScenarioSpec::new("adv-duel-digs", Protocol::Digs, secs, Kind::AdaptiveDuel, testbed_a);
+    duel.windowed_pdr_floor = Some(ADAPTIVE_DEFENSE_PDR_FLOOR);
+    specs.push(duel);
+    specs
+}
+
 /// The full conformance matrix: paper figures, the three-way comparison,
 /// and the chaos soak, for all protocols each figure compares.
 pub fn full_matrix(secs_override: Option<u64>) -> Vec<ScenarioSpec> {
@@ -379,6 +477,7 @@ pub fn full_matrix(secs_override: Option<u64>) -> Vec<ScenarioSpec> {
             &testbed_a,
         ));
     }
+    specs.extend(adversarial_specs(&testbed_a, s(420), &[Protocol::Digs, Protocol::Orchestra]));
     specs
 }
 
@@ -428,6 +527,7 @@ pub fn small_matrix(secs_override: Option<u64>) -> Vec<ScenarioSpec> {
         &testbed_a,
     ));
     specs.push(ScenarioSpec::new("chaos-digs", Protocol::Digs, s(600), Kind::Chaos, &testbed_a));
+    specs.extend(adversarial_specs(&testbed_a, s(420), &[Protocol::Digs]));
     specs
 }
 
@@ -471,6 +571,23 @@ mod tests {
         let specs = full_matrix(None);
         let jam1 = specs.iter().find(|s| s.name == "fig04-05-jam1").expect("present");
         assert_eq!(jam1.windowed_pdr_floor, Some(FIG5_PAPER_MEDIANS[0] - FIG5_FLOOR_SLACK));
+    }
+
+    #[test]
+    fn adversarial_specs_carry_their_bounds() {
+        for kind in [MatrixKind::Small, MatrixKind::Full] {
+            let specs = kind.scenarios(None);
+            let attack = specs.iter().find(|s| s.name == "adv-attack-digs").expect("present");
+            assert_eq!(attack.windowed_pdr_ceiling, Some(ADAPTIVE_ATTACK_PDR_CEILING));
+            assert_eq!(attack.windowed_pdr_floor, None);
+            for name in ["adv-defense-digs", "adv-duel-digs"] {
+                let spec = specs.iter().find(|s| s.name == name).expect("present");
+                assert_eq!(spec.windowed_pdr_floor, Some(ADAPTIVE_DEFENSE_PDR_FLOOR));
+                assert_eq!(spec.windowed_pdr_ceiling, None);
+            }
+        }
+        let full = full_matrix(None);
+        assert!(full.iter().any(|s| s.name == "adv-attack-orchestra"));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 
 use digs::config::{NetworkConfig, Protocol};
 use digs::network::Network;
+use digs::telemetry;
 use digs_conformance::{MetricContext, RunMetrics};
+use digs_sim::interference::Jammer;
+use digs_sim::position::Position;
+use digs_sim::time::Asn;
 use digs_sim::topology::Topology;
 
 /// One full run: canonical metrics line + trace JSONL, tracing pinned on
@@ -61,6 +65,54 @@ fn identical_runs_are_byte_identical_for_all_three_stacks() {
         let parsed = RunMetrics::from_line(&metrics_a).expect("canonical line parses");
         assert_eq!(parsed.to_line(), metrics_a);
     }
+}
+
+/// The attack-vs-defense duel with every observer on: adaptive jammers
+/// next to each access point, schedule randomization enabled, trace and
+/// telemetry both recording. Returns (trace JSONL, telemetry JSONL).
+fn duel_once(seed: u64, secs: u64) -> (String, String) {
+    let topology = Topology::testbed_a_half();
+    let ap_positions: Vec<_> =
+        topology.access_points().iter().map(|ap| topology.position(*ap)).collect();
+    let app_len = digs_scheduling::SlotframeLengths::paper().app;
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(Protocol::Digs)
+        .seed(seed)
+        .random_flows(2, 500, seed)
+        .trace_cap(8192)
+        .telemetry_epoch(1000)
+        .telemetry_cap(4096)
+        .randomize(0x5afe_c0de);
+    for (i, pos) in ap_positions.iter().enumerate() {
+        builder = builder.jammer(Jammer::adaptive(
+            Position::new(pos.x + 2.0, pos.y + 2.0),
+            app_len,
+            Asn::from_secs(30),
+            0xada9 ^ ((i as u64) << 8),
+        ));
+    }
+    let mut net = Network::new(builder.build());
+    net.run_secs(secs);
+    let trace = digs_trace::to_jsonl(&net.trace().events());
+    let tele = telemetry::to_jsonl(net.telemetry().expect("telemetry pinned on"));
+    (trace, tele)
+}
+
+#[test]
+fn adversarial_duel_is_byte_identical_across_runs() {
+    // The duel exercises every nondeterminism-prone path at once — the
+    // sniffer's learned state machine, per-epoch permutations, and both
+    // observability exports — so byte-equality here is the strongest
+    // cheap determinism check the adversarial family gets.
+    let (trace_a, tele_a) = duel_once(7, 150);
+    let (trace_b, tele_b) = duel_once(7, 150);
+    assert!(trace_a.lines().count() > 100, "duel trace must record a non-trivial event stream");
+    assert!(
+        tele_a.lines().count() > 5,
+        "duel telemetry must sample a non-trivial number of epochs"
+    );
+    assert_eq!(trace_a, trace_b, "duel trace JSONL diverged between identical runs");
+    assert_eq!(tele_a, tele_b, "duel telemetry JSONL diverged between identical runs");
 }
 
 #[test]

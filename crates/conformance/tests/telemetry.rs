@@ -6,6 +6,7 @@ use digs::config::{NetworkConfig, Protocol};
 use digs::network::Network;
 use digs::telemetry::{self, HealthRule};
 use digs_sim::interference::Jammer;
+use digs_sim::position::Position;
 use digs_sim::rf::Dbm;
 use digs_sim::time::{Asn, SLOTS_PER_SECOND};
 use digs_sim::topology::Topology;
@@ -111,4 +112,81 @@ fn health_monitor_catches_injected_jam_and_stays_quiet_on_clean_runs() {
         !overlapping.is_empty(),
         "expected a pdr-collapse alert overlapping the {jam_start}-{jam_end} s jam, got {alerts:?}"
     );
+}
+
+/// An adaptive schedule-learning attack run: one sniffer-jammer parked
+/// next to each access point, observing from 60 s (so jamming starts
+/// once the 30 s learning window fills). Traffic is deliberately dense
+/// (six 3 s flows) — a sniffer needs busy cells to rank, and sparser
+/// loads on the half testbed leave it cycling through relearn phases
+/// without ever converging. `randomize` switches the
+/// schedule-randomization defense on with the given network secret.
+/// Returns the health alerts and the jammers' combined hit rate.
+fn adversarial_run(randomize: Option<u64>) -> (Vec<telemetry::HealthAlert>, f64) {
+    let topology = Topology::testbed_a_half();
+    let ap_positions: Vec<_> =
+        topology.access_points().iter().map(|ap| topology.position(*ap)).collect();
+    let app_len = digs_scheduling::SlotframeLengths::paper().app;
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(Protocol::Digs)
+        .seed(7)
+        .random_flows(6, 300, 7)
+        .trace_cap(0)
+        .telemetry_epoch(1000)
+        .telemetry_cap(4096);
+    for (i, pos) in ap_positions.iter().enumerate() {
+        builder = builder.jammer(Jammer::adaptive(
+            Position::new(pos.x + 2.0, pos.y + 2.0),
+            app_len,
+            Asn::from_secs(60),
+            0xada9 ^ ((i as u64) << 8),
+        ));
+    }
+    if let Some(secret) = randomize {
+        builder = builder.randomize(secret);
+    }
+    let mut net = Network::new(builder.build());
+    net.run_secs(300);
+    let stats = net.engine().stats();
+    let hit_rate = if stats.adaptive_jam_opportunities == 0 {
+        0.0
+    } else {
+        stats.adaptive_jam_hits as f64 / stats.adaptive_jam_opportunities as f64
+    };
+    (net.telemetry().expect("telemetry pinned on").alerts().to_vec(), hit_rate)
+}
+
+#[test]
+fn adaptive_jammer_collapses_static_schedules_and_randomization_recovers() {
+    // Against the static Eq. 4 schedule the sniffer's learned cell map
+    // never goes stale: the attack lands, and the health monitor must
+    // call it out as a PDR collapse.
+    let (attack_alerts, attack_rate) = adversarial_run(None);
+    assert!(
+        attack_alerts.iter().any(|a| a.rule == HealthRule::PdrCollapse),
+        "adaptive jam vs a static schedule must trip pdr-collapse, got {attack_alerts:?}"
+    );
+    assert!(
+        attack_rate > 0.25,
+        "a converged sniffer should land most of its jam slots on real \
+         transmissions, got hit rate {attack_rate:.4}"
+    );
+
+    // With per-epoch randomization the learned map is stale by the next
+    // slotframe: no collapse ever, the hit rate pins near the blind-guess
+    // floor, and once formation plus first-contact churn settles the run
+    // is alert-free.
+    let (duel_alerts, duel_rate) = adversarial_run(Some(0x5afe_c0de));
+    assert!(
+        duel_alerts.iter().all(|a| a.rule != HealthRule::PdrCollapse),
+        "randomized schedule must not collapse under the adaptive jammer, got {duel_alerts:?}"
+    );
+    assert!(
+        duel_rate < 0.10,
+        "randomization should pin the sniffer near its blind-guess floor, \
+         got hit rate {duel_rate:.4} (attack run scored {attack_rate:.4})"
+    );
+    let converged = 220 * SLOTS_PER_SECOND;
+    let late: Vec<_> = duel_alerts.iter().filter(|a| a.asn_start >= converged).collect();
+    assert!(late.is_empty(), "defended run should be alert-free after convergence, got {late:?}");
 }

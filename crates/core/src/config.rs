@@ -74,6 +74,13 @@ pub struct NetworkConfig {
     /// defers to `DIGS_TELEMETRY_CAP` (default 4096); `Some(0)` forces
     /// telemetry off regardless of the environment.
     pub telemetry_cap: Option<usize>,
+    /// Schedule-randomization defense (DiGS only): a shared secret from
+    /// which every node re-derives its application-cell placement each
+    /// slotframe epoch, defeating schedule-learning jammers. `None` defers
+    /// to the `DIGS_SCHED_RANDOMIZE` environment variable (unset, empty,
+    /// or `0` = off); `Some(0)` forces the defense off regardless of the
+    /// environment; any other value enables it.
+    pub sched_randomize: Option<u64>,
 }
 
 impl NetworkConfig {
@@ -97,8 +104,25 @@ impl NetworkConfig {
                 trace_cap: None,
                 telemetry_epoch: None,
                 telemetry_cap: None,
+                sched_randomize: None,
             },
         }
+    }
+
+    /// Resolves the schedule-randomization knob: an explicit builder value
+    /// wins (`0` pinning the defense off), otherwise the
+    /// `DIGS_SCHED_RANDOMIZE` environment variable decides (unset, empty,
+    /// unparsable, or `0` = off). Returns the raw shared secret; the
+    /// network derives the per-run nonce by mixing it with the seed.
+    pub fn resolve_randomize(&self) -> Option<u64> {
+        let raw = match self.sched_randomize {
+            Some(v) => v,
+            None => std::env::var("DIGS_SCHED_RANDOMIZE")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .unwrap_or(0),
+        };
+        (raw != 0).then_some(raw)
     }
 }
 
@@ -221,6 +245,14 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Enables the schedule-randomization defense with the given shared
+    /// secret (0 pins it off). Without this call the
+    /// `DIGS_SCHED_RANDOMIZE` environment variable decides.
+    pub fn randomize(mut self, secret: u64) -> Self {
+        self.config.sched_randomize = Some(secret);
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -257,6 +289,16 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.flows.len(), 8);
         assert_eq!(c.queue_capacity, 8);
+    }
+
+    #[test]
+    fn randomize_knob_resolves_explicit_values() {
+        let on = NetworkConfig::builder(Topology::testbed_a()).randomize(7).build();
+        assert_eq!(on.resolve_randomize(), Some(7));
+        // An explicit zero pins the defense off even if the environment
+        // would enable it.
+        let off = NetworkConfig::builder(Topology::testbed_a()).randomize(0).build();
+        assert_eq!(off.resolve_randomize(), None);
     }
 
     #[test]

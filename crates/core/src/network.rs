@@ -37,6 +37,10 @@ pub struct Network {
     /// disabled — the disabled path allocates nothing and [`Network::run`]
     /// is the plain engine loop.
     telemetry: Option<Box<TelemetrySampler>>,
+    /// The derived schedule-randomization nonce every DiGS stack was
+    /// provisioned with (`None` = defense off; see
+    /// [`NetworkConfig::resolve_randomize`]).
+    randomize_nonce: Option<u64>,
 }
 
 impl Network {
@@ -71,6 +75,14 @@ impl Network {
             None
         };
 
+        // Mix the shared randomization secret with the run seed so two
+        // seeds never share a permutation sequence (an attacker replaying
+        // one run's observations against another learns nothing), while
+        // every node within the run derives the identical nonce.
+        let randomize_nonce = config
+            .resolve_randomize()
+            .map(|secret| digs_sim::rng::mix(config.seed, secret, 0x0510_75a9, 0));
+
         let num_aps = config.topology.num_access_points() as u16;
         let mut stacks: Vec<ProtocolStack> = config
             .topology
@@ -92,6 +104,7 @@ impl Network {
                         config.queue_capacity,
                         config.max_cycles,
                         seed,
+                        randomize_nonce,
                     )),
                     Protocol::Orchestra => ProtocolStack::Orchestra(OrchestraStack::new(
                         id,
@@ -135,7 +148,13 @@ impl Network {
             loop_streak: 0,
             violation_window: Vec::new(),
             telemetry,
+            randomize_nonce,
         }
+    }
+
+    /// The derived schedule-randomization nonce, if the defense is active.
+    pub fn randomize_nonce(&self) -> Option<u64> {
+        self.randomize_nonce
     }
 
     /// The configuration the network was built from.
@@ -169,6 +188,12 @@ impl Network {
     /// clock) and sampled at each; sampling only observes, so outcomes
     /// are identical to an unsampled run.
     pub fn run(&mut self, slots: u64) {
+        let start = self.engine.asn().0;
+        self.run_inner(slots);
+        self.record_defense_epochs(start);
+    }
+
+    fn run_inner(&mut self, slots: u64) {
         let Some(sampler) = &self.telemetry else {
             self.engine.run(&mut self.stacks, slots);
             return;
@@ -195,6 +220,28 @@ impl Network {
                     }
                 }
             }
+        }
+    }
+
+    /// Mirrors schedule re-randomization points into the flight recorder:
+    /// one run-scoped `DefenseEpoch` event per application-slotframe
+    /// boundary crossed in `(start, now]`. Half-open so the chunked calls
+    /// from [`Network::run_audited`] never double-record a boundary; the
+    /// initial epoch (ASN 0) is not an event — the schedule is *born*
+    /// randomized, events mark re-draws.
+    fn record_defense_epochs(&self, start: u64) {
+        if self.randomize_nonce.is_none() || !self.engine.trace().is_on() {
+            return;
+        }
+        let app = u64::from(self.config.slotframes.app);
+        let end = self.engine.asn().0;
+        let mut boundary = (start / app + 1) * app;
+        while boundary <= end {
+            self.engine.trace().record_network(
+                boundary,
+                EventKind::DefenseEpoch { epoch: boundary / app },
+            );
+            boundary += app;
         }
     }
 

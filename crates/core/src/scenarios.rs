@@ -158,6 +158,116 @@ pub fn testbed_b_interference_on(
     builder.build()
 }
 
+/// Shared secret for the schedule-randomization defense scenarios. Any
+/// non-zero value works; nodes mix it with the run seed to derive the
+/// per-epoch permutation nonce.
+pub const DEFENSE_SECRET: u64 = 0x5afe_c0de;
+
+/// One adaptive schedule-learning jammer parked a couple of meters from
+/// each access point — the worst case for DiGS, since every flow's last
+/// hop converges there and the sniffer sees (and can selectively kill)
+/// the busiest cells of the whole network.
+fn adaptive_jammers_near_aps(topology: &Topology, app_len: u32) -> Vec<Jammer> {
+    topology
+        .access_points()
+        .iter()
+        .enumerate()
+        .map(|(i, ap)| {
+            let p = topology.position(*ap);
+            Jammer::adaptive(
+                Position::new(p.x + 2.0, p.y + 2.0),
+                app_len,
+                Asn::from_secs(JAM_START_SECS),
+                0xada9 ^ ((i as u64) << 8),
+            )
+        })
+        .collect()
+}
+
+/// Adversarial attack scenario: Testbed A, 8 flows @ 5 s, one adaptive
+/// schedule-learning jammer per access point, **no defense**. The jammer
+/// sniffs during its learning window, then selectively jams the top-K
+/// busiest cells — against a static Eq. 4 schedule this collapses the
+/// victim flows' PDR.
+pub fn testbed_a_adaptive_jam(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    testbed_a_adaptive_jam_on(Topology::testbed_a(), protocol, flow_seed)
+}
+
+/// [`testbed_a_adaptive_jam`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_a_adaptive_jam_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
+    let flows = delay_flows(random_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
+    let app_len = digs_scheduling::SlotframeLengths::paper().app;
+    let jammers = adaptive_jammers_near_aps(&topology, app_len);
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .seed(flow_seed.wrapping_mul(0x9e37) ^ 0xAD)
+        .flows(flows);
+    for j in jammers {
+        builder = builder.jammer(j);
+    }
+    builder.build()
+}
+
+/// Adversarial defense-overhead scenario: the same network and flow set
+/// as [`testbed_a_adaptive_jam`] with **no jammers** and schedule
+/// randomization on — quantifies what the defense alone costs (it should
+/// cost nothing: the per-epoch permutation is a bijection, so capacity
+/// and conflict-freedom are unchanged).
+pub fn testbed_a_randomized(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    testbed_a_randomized_on(Topology::testbed_a(), protocol, flow_seed)
+}
+
+/// [`testbed_a_randomized`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_a_randomized_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
+    let flows = delay_flows(random_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
+    NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .seed(flow_seed.wrapping_mul(0x9e37) ^ 0xAD)
+        .flows(flows)
+        .randomize(DEFENSE_SECRET)
+        .build()
+}
+
+/// Adversarial duel scenario: [`testbed_a_adaptive_jam`] with the
+/// schedule-randomization defense switched on. The sniffer's learned cell
+/// rankings go stale every application-slotframe epoch, pinning its hit
+/// rate near the 1-in-16 blind-guess floor and restoring PDR to within
+/// tolerance of the clean baseline.
+pub fn testbed_a_adaptive_duel(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    testbed_a_adaptive_duel_on(Topology::testbed_a(), protocol, flow_seed)
+}
+
+/// [`testbed_a_adaptive_duel`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn testbed_a_adaptive_duel_on(
+    topology: Topology,
+    protocol: Protocol,
+    flow_seed: u64,
+) -> NetworkConfig {
+    let flows = delay_flows(random_flow_set(&topology, 8, 500, flow_seed), WARMUP_SECS);
+    let app_len = digs_scheduling::SlotframeLengths::paper().app;
+    let jammers = adaptive_jammers_near_aps(&topology, app_len);
+    let mut builder = NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .seed(flow_seed.wrapping_mul(0x9e37) ^ 0xAD)
+        .flows(flows)
+        .randomize(DEFENSE_SECRET);
+    for j in jammers {
+        builder = builder.jammer(j);
+    }
+    builder.build()
+}
+
 /// Picks `count` likely relay nodes: central field devices (closest to the
 /// building centroid), excluding the flow sources so turning them off
 /// tests *routing* resilience, as in Fig. 11.
@@ -339,6 +449,32 @@ mod tests {
         assert_eq!(c.flows.len(), 20);
         assert_eq!(c.jammers.len(), 5);
         assert!(c.flows.iter().all(|f| f.period == 1000));
+    }
+
+    #[test]
+    fn adversarial_family_differs_only_by_knob_and_jammers() {
+        let attack = testbed_a_adaptive_jam(Protocol::Digs, 1);
+        let defense = testbed_a_randomized(Protocol::Digs, 1);
+        let duel = testbed_a_adaptive_duel(Protocol::Digs, 1);
+        // One adaptive jammer per access point, parked right next to it.
+        assert_eq!(attack.jammers.len(), 2);
+        assert_eq!(duel.jammers.len(), 2);
+        assert!(defense.jammers.is_empty());
+        for j in &attack.jammers {
+            assert!(
+                matches!(j.kind, digs_sim::interference::JammerKind::Adaptive(_)),
+                "attack jammers must be adaptive"
+            );
+            assert_eq!(j.start, Asn::from_secs(JAM_START_SECS));
+        }
+        // Same seed and flow set across the family: the only deltas are the
+        // jammers and the defense knob.
+        assert_eq!(attack.seed, duel.seed);
+        assert_eq!(attack.seed, defense.seed);
+        assert_eq!(attack.flows, duel.flows);
+        assert_eq!(attack.resolve_randomize(), None);
+        assert_eq!(duel.resolve_randomize(), Some(DEFENSE_SECRET));
+        assert_eq!(defense.resolve_randomize(), Some(DEFENSE_SECRET));
     }
 
     #[test]

@@ -69,6 +69,11 @@ struct Provision {
     routing_config: RoutingConfig,
     queue_capacity: usize,
     seed: u64,
+    /// Shared schedule-randomization nonce (`None` = static Eq. 4). Like
+    /// the slotframe lengths, this is factory provisioning: it survives
+    /// reboots, so a rebooted mote rejoins the randomized schedule its
+    /// neighbors are still following.
+    randomize: Option<u64>,
 }
 
 impl DigsStack {
@@ -86,6 +91,7 @@ impl DigsStack {
         queue_capacity: usize,
         max_cycles: u8,
         seed: u64,
+        randomize: Option<u64>,
     ) -> DigsStack {
         let mut telemetry = StackTelemetry::default();
         if is_ap {
@@ -94,12 +100,14 @@ impl DigsStack {
             telemetry.joined_at = Some(Asn::ZERO);
         }
         let routing = DigsRouting::new(id, is_ap, routing_config, seed, Asn::ZERO);
+        let mut scheduler = DigsScheduler::new(id, num_aps, slotframes, attempts);
+        scheduler.set_randomize(randomize);
         DigsStack {
             id,
             is_ap,
             traced_rank: routing.rank(),
             routing,
-            scheduler: DigsScheduler::new(id, num_aps, slotframes, attempts),
+            scheduler,
             flows,
             app_queue: BoundedQueue::new(queue_capacity),
             routing_queue: BoundedQueue::new(queue_capacity),
@@ -119,6 +127,7 @@ impl DigsStack {
                 routing_config,
                 queue_capacity,
                 seed,
+                randomize,
             },
         }
     }
@@ -541,12 +550,13 @@ impl NodeStack for DigsStack {
                     return;
                 }
                 // The frame's slot identifies the sender's attempt number
-                // (Eq. 4 is invertible), which tells us whether the sender
-                // uses us as its primary or backup parent — refresh the
-                // child table from actual traffic so a lost joined-callback
-                // cannot leave the schedule permanently asymmetric.
-                let app_off = asn.slotframe_offset(self.scheduler.lengths().app);
-                if let Some(p) = self.scheduler.infer_attempt(frame.src, app_off) {
+                // (Eq. 4 is invertible, also under randomization — the
+                // epoch permutation derandomizes first), which tells us
+                // whether the sender uses us as its primary or backup
+                // parent — refresh the child table from actual traffic so a
+                // lost joined-callback cannot leave the schedule
+                // permanently asymmetric.
+                if let Some(p) = self.scheduler.infer_attempt_at(frame.src, asn) {
                     let role = if p < self.scheduler.attempts() {
                         digs_routing::messages::ParentSlot::Best
                     } else {
@@ -605,6 +615,7 @@ impl NodeStack for DigsStack {
         let seed = digs_sim::rng::mix(p.seed, asn.0, 0x001e_b007, 0);
         self.routing = DigsRouting::new(self.id, self.is_ap, p.routing_config, seed, asn);
         self.scheduler = DigsScheduler::new(self.id, p.num_aps, p.slotframes, p.attempts);
+        self.scheduler.set_randomize(p.randomize);
         self.app_queue = BoundedQueue::new(p.queue_capacity);
         self.routing_queue = BoundedQueue::new(p.queue_capacity);
         self.child_last_seen.clear();

@@ -23,6 +23,7 @@ fn digs_stack(id: u16, is_ap: bool) -> DigsStack {
         8,
         3,
         7,
+        None,
     )
 }
 
@@ -38,6 +39,7 @@ fn digs_source(id: u16, flow_period: u64) -> DigsStack {
         8,
         3,
         7,
+        None,
     )
 }
 

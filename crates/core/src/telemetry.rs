@@ -268,6 +268,9 @@ pub struct TelemetrySampler {
     stall_fired: bool,
     /// Lowest non-idle epoch PDR observed.
     epoch_pdr_min: Option<f64>,
+    /// Cumulative per-channel transmit counts at the previous epoch (for
+    /// the per-window channel-entropy gauge).
+    prev_channel_tx: [u64; 16],
 }
 
 impl TelemetrySampler {
@@ -289,6 +292,7 @@ impl TelemetrySampler {
             convergence: Convergence::Waiting,
             stall_fired: false,
             epoch_pdr_min: None,
+            prev_channel_tx: [0; 16],
         }
     }
 
@@ -356,6 +360,14 @@ impl TelemetrySampler {
         self.registry.counter("cca.deferrals").set_at_least(stats.cca_deferrals);
         self.registry.counter("drop.noise").set_at_least(stats.noise_drops);
         self.registry.counter("drop.collision").set_at_least(stats.collision_drops);
+        // Adaptive-jammer observability (all zero without an adaptive
+        // jammer in the run; kept unconditional so the export schema is
+        // uniform across scenarios).
+        self.registry.counter("jam.slots").set_at_least(stats.adaptive_jam_slots);
+        self.registry.counter("jam.hits").set_at_least(stats.adaptive_jam_hits);
+        self.registry.counter("jam.opps").set_at_least(stats.adaptive_jam_opportunities);
+        self.registry.counter("jam.retargets").set_at_least(stats.adaptive_retargets);
+        self.registry.counter("jam.relearns").set_at_least(stats.adaptive_relearns);
 
         // --- stack counters ---
         let mut churn_total = 0u64;
@@ -470,6 +482,37 @@ impl TelemetrySampler {
             // Basis points: gauges are integers so the export stays free
             // of float formatting concerns in the common table views.
             g.gauge("slotframe.util_bp").set((mean_util * 10_000.0).round() as i64);
+        }
+        // Cumulative attacker hit rate (basis points): how often a jamming
+        // burst actually landed on a victim transmission. The defense's
+        // goal is to pin this near the 1-in-16 channel-guessing floor.
+        if stats.adaptive_jam_opportunities > 0 {
+            let rate =
+                stats.adaptive_jam_hits as f64 / stats.adaptive_jam_opportunities as f64;
+            g.gauge("jam.hit_rate_bp").set((rate * 10_000.0).round() as i64);
+        }
+        // Normalized Shannon entropy of this window's per-channel transmit
+        // distribution (basis points; 10 000 = perfectly uniform over the
+        // 16 channels). Schedule randomization shows up as this staying
+        // high; a static schedule under a channel-focused attack drifts
+        // low.
+        let mut channel_deltas = [0u64; 16];
+        for (ch, delta) in channel_deltas.iter_mut().enumerate() {
+            *delta = stats.channel_tx[ch] - self.prev_channel_tx[ch];
+        }
+        self.prev_channel_tx = stats.channel_tx;
+        let total_tx: u64 = channel_deltas.iter().sum();
+        if total_tx > 0 {
+            let entropy: f64 = channel_deltas
+                .iter()
+                .filter(|&&d| d > 0)
+                .map(|&d| {
+                    let p = d as f64 / total_tx as f64;
+                    -p * p.log2()
+                })
+                .sum();
+            // log2(16) = 4 bits is the uniform maximum.
+            g.gauge("chan.entropy_bp").set((entropy / 4.0 * 10_000.0).round() as i64);
         }
 
         let snapshot = EpochSnapshot {
@@ -844,6 +887,11 @@ mod tests {
         // Engine activity shows up as counter deltas.
         let tx: u64 = tele.epochs().filter_map(|e| e.counter("tx.beacon")).sum();
         assert!(tx > 0, "beacons must appear in the channel counters");
+        // Channel-entropy gauge tracks the window's transmit spread, and
+        // the jam counters exist (zero) even without an attacker.
+        assert!(last.gauge("chan.entropy_bp").is_some_and(|v| v > 0));
+        assert_eq!(last.counter("jam.hits"), Some(0));
+        assert!(last.gauge("jam.hit_rate_bp").is_none(), "no attacker, no hit rate");
     }
 
     #[test]

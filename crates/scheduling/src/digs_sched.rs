@@ -16,19 +16,90 @@
 //!   cells per slotframe: attempts 1 to A−1 on the primary route and
 //!   attempt A on the backup route. Parents derive the matching receive
 //!   cells from their child tables.
+//!
+//! ## Schedule randomization (anti-jamming defense)
+//!
+//! Eq. 4 is static: a jammer that passively learns which `(slot, channel
+//! offset)` cells carry traffic can concentrate its energy on exactly
+//! those cells forever. The optional randomization pass defeats that by
+//! re-drawing the *physical* placement of every application cell each
+//! epoch (one application slotframe) from a network-wide shared nonce:
+//!
+//! - a Fisher–Yates permutation keyed on `(nonce, epoch)` maps each
+//!   logical Eq. 4 slot to a physical slot — a bijection, so Eq. 4's
+//!   exclusive-ownership property transfers verbatim to the physical
+//!   schedule;
+//! - a per-physical-slot channel-offset shift keyed on the same stream
+//!   re-draws the cell's channel offset, so learned channel positions
+//!   also go stale.
+//!
+//! Every node derives the identical permutation from the shared nonce
+//! (provisioned like the slotframe lengths — no negotiation, preserving
+//! the paper's autonomy property), so a child's transmit cell and its
+//! parents' receive cells stay aligned. Logical coordinates remain the
+//! stable identity of a cell: claims, callbacks, and Eq. 4 inversion all
+//! operate in logical space and translate at the radio boundary.
 
 use crate::slotframe::{
     combine, frame_offset, node_offset, Cell, CellAction, SlotframeLengths, TrafficClass,
     ROUTING_OFFSET, ROUTING_SLOT,
 };
 use digs_routing::messages::ParentSlot;
+use digs_sim::channel::ChannelOffset;
 use digs_sim::ids::NodeId;
+use digs_sim::rng;
 use digs_sim::time::Asn;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Default number of scheduled transmission attempts per packet per
 /// application slotframe (two on the primary route, one on the backup).
 pub const DEFAULT_ATTEMPTS: u8 = 3;
+
+/// Salt separating the slot-permutation stream from other mix users.
+const PERM_SALT: u64 = 0x51a7_0b1e;
+
+/// Salt separating the channel-offset-shift stream.
+const SHIFT_SALT: u64 = 0x0ff5_e7ed;
+
+/// The slot permutation for one randomization epoch.
+#[derive(Debug, Clone)]
+struct EpochPerm {
+    epoch: u64,
+    /// `forward[logical] = physical` application slot.
+    forward: Vec<u32>,
+    /// `inverse[physical] = logical` application slot.
+    inverse: Vec<u32>,
+}
+
+/// Memo for the most recently resolved epoch's permutation (interior
+/// mutability: schedule lookup is logically `&self`).
+#[derive(Debug, Clone, Default)]
+struct PermCache(RefCell<Option<EpochPerm>>);
+
+impl PartialEq for PermCache {
+    /// The cache is derived data: schedulers with equal configuration are
+    /// equal regardless of which epoch they last resolved.
+    fn eq(&self, _other: &PermCache) -> bool {
+        true
+    }
+}
+
+/// Fisher–Yates keyed on `(nonce, epoch)`. The `% (i + 1)` modulo bias is
+/// irrelevant here: the shuffle defeats schedule learning, it is not
+/// cryptography.
+fn build_perm(nonce: u64, epoch: u64, app_len: u32) -> EpochPerm {
+    let mut forward: Vec<u32> = (0..app_len).collect();
+    for i in (1..app_len as usize).rev() {
+        let j = (rng::mix(nonce, epoch, i as u64, PERM_SALT) % (i as u64 + 1)) as usize;
+        forward.swap(i, j);
+    }
+    let mut inverse = vec![0u32; app_len as usize];
+    for (logical, &physical) in forward.iter().enumerate() {
+        inverse[physical as usize] = logical as u32;
+    }
+    EpochPerm { epoch, forward, inverse }
+}
 
 /// The autonomous scheduler state for one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +112,11 @@ pub struct DigsScheduler {
     second_parent: Option<NodeId>,
     /// Children and the role they assigned us.
     children: BTreeMap<NodeId, ParentSlot>,
+    /// Network-wide schedule-randomization nonce (`None` = the paper's
+    /// static Eq. 4 placement).
+    randomize: Option<u64>,
+    /// Cached permutation for the last epoch queried.
+    perm: PermCache,
 }
 
 impl DigsScheduler {
@@ -64,7 +140,30 @@ impl DigsScheduler {
             best_parent: None,
             second_parent: None,
             children: BTreeMap::new(),
+            randomize: None,
+            perm: PermCache::default(),
         }
+    }
+
+    /// Enables (`Some`) or disables (`None`) per-epoch schedule
+    /// randomization. The nonce must be identical network-wide: every node
+    /// independently re-derives the same permutation from it, keeping a
+    /// child's transmit cells aligned with its parents' receive cells
+    /// without any negotiation.
+    pub fn set_randomize(&mut self, nonce: Option<u64>) {
+        self.randomize = nonce;
+        self.perm.0.replace(None);
+    }
+
+    /// The active schedule-randomization nonce, if any.
+    pub fn randomize(&self) -> Option<u64> {
+        self.randomize
+    }
+
+    /// The randomization epoch an ASN falls in (one application slotframe
+    /// per epoch).
+    pub fn epoch_of(&self, asn: Asn) -> u64 {
+        asn.0 / u64::from(self.lengths.app)
     }
 
     /// This node's id.
@@ -162,6 +261,85 @@ impl DigsScheduler {
         (1..=self.attempts).find(|p| self.tx_slot(node, *p) == off)
     }
 
+    /// Runs `f` against the permutation for `epoch`, (re)building the memo
+    /// when the epoch rolled over since the last lookup.
+    fn with_perm<R>(&self, nonce: u64, epoch: u64, f: impl FnOnce(&EpochPerm) -> R) -> R {
+        let mut cached = self.perm.0.borrow_mut();
+        if cached.as_ref().is_none_or(|p| p.epoch != epoch) {
+            *cached = Some(build_perm(nonce, epoch, self.lengths.app));
+        }
+        f(cached.as_ref().expect("permutation just built"))
+    }
+
+    /// Maps a logical (Eq. 4) application slot to its physical slot in
+    /// `asn`'s epoch — the identity without randomization.
+    fn physical_slot(&self, logical: u32, asn: Asn) -> u32 {
+        match self.randomize {
+            None => logical,
+            Some(nonce) => {
+                self.with_perm(nonce, self.epoch_of(asn), |p| p.forward[logical as usize])
+            }
+        }
+    }
+
+    /// Inverse of [`Self::physical_slot`].
+    fn logical_slot(&self, physical: u32, asn: Asn) -> u32 {
+        match self.randomize {
+            None => physical,
+            Some(nonce) => {
+                self.with_perm(nonce, self.epoch_of(asn), |p| p.inverse[physical as usize])
+            }
+        }
+    }
+
+    /// The channel-offset shift applied to a physical slot's application
+    /// cell in `asn`'s epoch. Keyed on the *physical* slot, so the
+    /// transmitting child and every listening parent — who agree on the
+    /// physical slot by construction — derive the same shift.
+    fn offset_shift(&self, physical: u32, asn: Asn) -> u8 {
+        match self.randomize {
+            None => 0,
+            Some(nonce) => {
+                (rng::mix(nonce, self.epoch_of(asn), u64::from(physical), SHIFT_SALT) % 16) as u8
+            }
+        }
+    }
+
+    fn cell_offset(&self, base: ChannelOffset, physical: u32, asn: Asn) -> ChannelOffset {
+        ChannelOffset::new((base.0 + self.offset_shift(physical, asn)) % 16)
+    }
+
+    /// The physical application slot in which `node`'s attempt `p`
+    /// transmits during `asn`'s epoch: [`Self::tx_slot`] for a static
+    /// schedule, its epoch permutation under randomization.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::tx_slot`].
+    pub fn scheduled_slot(&self, node: NodeId, p: u8, asn: Asn) -> u32 {
+        self.physical_slot(self.tx_slot(node, p), asn)
+    }
+
+    /// The channel offset `node`'s attempt-`p` cell actually uses during
+    /// `asn`'s epoch ([`Self::attempt_offset`] plus the epoch shift).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::tx_slot`].
+    pub fn scheduled_offset(&self, node: NodeId, p: u8, asn: Asn) -> ChannelOffset {
+        let physical = self.scheduled_slot(node, p, asn);
+        self.cell_offset(Self::attempt_offset(node, p), physical, asn)
+    }
+
+    /// Epoch-aware variant of [`Self::infer_attempt`]: which attempt has
+    /// `node` transmitting in `asn`'s slot? Receivers must use this (not
+    /// the raw slotframe offset) when randomization may be active, since
+    /// the physical slot de-randomizes to a different logical slot.
+    pub fn infer_attempt_at(&self, node: NodeId, asn: Asn) -> Option<u8> {
+        let off = frame_offset(asn, self.lengths.app);
+        self.infer_attempt(node, self.logical_slot(off, asn))
+    }
+
     /// Resolves the combined cell for a slot (`None` = sleep).
     pub fn cell(&self, asn: Asn) -> Option<Cell> {
         combine(self.sync_cell(asn), self.routing_cell(asn), self.app_cell(asn))
@@ -205,15 +383,18 @@ impl DigsScheduler {
 
     fn app_cell(&self, asn: Asn) -> Option<Cell> {
         let off = frame_offset(asn, self.lengths.app);
+        // Cell identity lives in logical (Eq. 4) space; under randomization
+        // this slot physically hosts a *different* logical slot's cell.
+        let logical = self.logical_slot(off, asn);
         // Own transmission cells (field devices with a route only).
         if !self.is_access_point() {
             for p in 1..=self.attempts {
-                if off == self.tx_slot(self.id, p) {
+                if logical == self.tx_slot(self.id, p) {
                     if let Some(target) = self.attempt_target(p) {
                         return Some(Cell {
                             class: TrafficClass::App,
                             action: CellAction::TxData { to: target, attempt: p },
-                            offset: Self::attempt_offset(self.id, p),
+                            offset: self.cell_offset(Self::attempt_offset(self.id, p), off, asn),
                             contention: false,
                         });
                     }
@@ -230,11 +411,11 @@ impl DigsScheduler {
         // energy overhead the paper attributes to DiGS.
         for child in self.children.keys() {
             for p in 1..=self.attempts {
-                if off == self.tx_slot(*child, p) {
+                if logical == self.tx_slot(*child, p) {
                     return Some(Cell {
                         class: TrafficClass::App,
                         action: CellAction::RxData,
-                        offset: Self::attempt_offset(*child, p),
+                        offset: self.cell_offset(Self::attempt_offset(*child, p), off, asn),
                         contention: false,
                     });
                 }
@@ -446,5 +627,105 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn randomization_off_is_the_identity() {
+        let s = example_scheduler(2);
+        for asn in 0..50u64 {
+            assert_eq!(s.scheduled_slot(NodeId(2), 1, Asn(asn)), s.tx_slot(NodeId(2), 1));
+            assert_eq!(
+                s.scheduled_offset(NodeId(2), 1, Asn(asn)),
+                DigsScheduler::attempt_offset(NodeId(2), 1)
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_slots_stay_a_bijection_each_epoch() {
+        let mut s = example_scheduler(2);
+        s.set_randomize(Some(0xdead_beef));
+        for epoch in 0..20u64 {
+            let asn = Asn(epoch * 7);
+            let mut seen = std::collections::HashSet::new();
+            for logical in 0..7u32 {
+                let phys = s.physical_slot(logical, asn);
+                assert!(phys < 7);
+                assert!(seen.insert(phys), "epoch {epoch}: physical slot {phys} reused");
+                assert_eq!(s.logical_slot(phys, asn), logical, "inverse mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_schedule_changes_across_epochs() {
+        let mut s = DigsScheduler::new(NodeId(2), 2, SlotframeLengths::paper(), 3);
+        s.set_randomize(Some(7));
+        let placements: std::collections::HashSet<(u32, u8)> = (0..24u64)
+            .map(|epoch| {
+                let asn = Asn(epoch * 151);
+                (s.scheduled_slot(NodeId(2), 1, asn), s.scheduled_offset(NodeId(2), 1, asn).0)
+            })
+            .collect();
+        // 24 epochs over a 151 × 16 cell space: re-draws must not be stuck.
+        assert!(placements.len() > 12, "only {} distinct placements", placements.len());
+    }
+
+    #[test]
+    fn child_tx_and_parent_rx_cells_stay_aligned_under_randomization() {
+        let nonce = Some(0x5eed);
+        let mut child = example_scheduler(2);
+        child.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+        child.set_randomize(nonce);
+        let mut parent = example_scheduler(0);
+        parent.add_child(NodeId(2), ParentSlot::Best);
+        parent.set_randomize(nonce);
+        let mut paired = 0;
+        for asn in 0..4697u64 {
+            let asn = Asn(asn);
+            if let Some(tx) = child.cell(asn) {
+                if let CellAction::TxData { .. } = tx.action {
+                    // Whenever the child fires, the parent must be listening
+                    // on the same channel offset (unless sync masked the
+                    // parent's cell — its EB slot has priority).
+                    if let Some(rx) = parent.cell(asn) {
+                        if rx.action == CellAction::RxData {
+                            assert_eq!(rx.offset, tx.offset, "offset mismatch at {asn:?}");
+                            paired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(paired > 1000, "only {paired} paired cells in a hyper-period");
+    }
+
+    #[test]
+    fn infer_attempt_at_inverts_randomized_placement() {
+        let mut s = example_scheduler(0);
+        s.set_randomize(Some(42));
+        for epoch in 0..10u64 {
+            for p in 1..=3u8 {
+                let slot = s.scheduled_slot(NodeId(2), p, Asn(epoch * 7));
+                let asn = Asn(epoch * 7 + u64::from(slot));
+                assert_eq!(s.infer_attempt_at(NodeId(2), asn), Some(p));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_nonces_give_identical_schedules() {
+        let mk = || {
+            let mut s = example_scheduler(2);
+            s.set_parents(Some(NodeId(0)), Some(NodeId(1)));
+            s.set_randomize(Some(99));
+            s
+        };
+        let (a, b) = (mk(), mk());
+        for asn in 0..4697u64 {
+            assert_eq!(a.cell(Asn(asn)), b.cell(Asn(asn)));
+        }
+        // And the cache state never leaks into equality.
+        assert_eq!(a, b);
     }
 }

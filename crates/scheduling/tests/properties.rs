@@ -121,6 +121,83 @@ proptest! {
         }
     }
 
+    /// Per-epoch schedule randomization preserves the Eq. 4 invariant:
+    /// for any nonce and epoch, distinct `(node, attempt)` pairs still
+    /// occupy distinct physical application slots (the permutation is a
+    /// bijection, so it cannot introduce collisions).
+    #[test]
+    fn randomization_keeps_slots_collision_free(nonce in any::<u64>(), epoch in 0u64..1000) {
+        let lengths = SlotframeLengths::paper();
+        let mut s = DigsScheduler::new(NodeId(2), 2, lengths, 3);
+        s.set_randomize(Some(nonce));
+        let asn = Asn(epoch * u64::from(lengths.app));
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 2u16..52 {
+            for p in 1..=3u8 {
+                let slot = s.scheduled_slot(NodeId(id), p, asn);
+                prop_assert!(slot < lengths.app);
+                prop_assert!(seen.insert(slot), "physical-slot collision at node {} attempt {}", id, p);
+            }
+        }
+    }
+
+    /// A transmitting child and a listening parent — independent scheduler
+    /// instances sharing only the network-wide nonce — agree on the
+    /// physical slot and shifted channel offset of every attempt, and the
+    /// parent's epoch-aware inversion recovers the attempt number.
+    #[test]
+    fn randomization_keeps_child_and_parent_aligned(
+        nonce in any::<u64>(), epoch in 0u64..1000, child in 2u16..50, p in 1u8..=3
+    ) {
+        let lengths = SlotframeLengths::paper();
+        let mut tx = DigsScheduler::new(NodeId(child), 2, lengths, 3);
+        let mut rx = DigsScheduler::new(NodeId(0), 2, lengths, 3);
+        tx.set_randomize(Some(nonce));
+        rx.set_randomize(Some(nonce));
+        let frame_start = epoch * u64::from(lengths.app);
+        let slot = tx.scheduled_slot(NodeId(child), p, Asn(frame_start));
+        let asn = Asn(frame_start + u64::from(slot));
+        prop_assert_eq!(rx.scheduled_slot(NodeId(child), p, asn), slot);
+        let off = tx.scheduled_offset(NodeId(child), p, asn);
+        prop_assert!(off.0 < 16);
+        prop_assert_eq!(rx.scheduled_offset(NodeId(child), p, asn), off);
+        prop_assert_eq!(rx.infer_attempt_at(NodeId(child), asn), Some(p));
+    }
+
+    /// With randomization off, the physical schedule is exactly Eq. 4 with
+    /// the static per-attempt channel offsets, at every epoch.
+    #[test]
+    fn randomization_off_is_identity_everywhere(epoch in 0u64..1000, node in 2u16..50, p in 1u8..=3) {
+        let lengths = SlotframeLengths::paper();
+        let s = DigsScheduler::new(NodeId(2), 2, lengths, 3);
+        let asn = Asn(epoch * u64::from(lengths.app));
+        prop_assert_eq!(s.scheduled_slot(NodeId(node), p, asn), s.tx_slot(NodeId(node), p));
+        prop_assert_eq!(
+            s.scheduled_offset(NodeId(node), p, asn),
+            DigsScheduler::attempt_offset(NodeId(node), p)
+        );
+    }
+
+    /// Consecutive epochs actually reshuffle: the mapping a sniffer could
+    /// learn in one epoch is stale in the next. (The chance two
+    /// independent 151-slot permutations agree on all 150 tracked cells is
+    /// negligible.)
+    #[test]
+    fn randomization_reshuffles_across_epochs(nonce in any::<u64>(), epoch in 0u64..1000) {
+        let lengths = SlotframeLengths::paper();
+        let mut s = DigsScheduler::new(NodeId(2), 2, lengths, 3);
+        s.set_randomize(Some(nonce));
+        let a = Asn(epoch * u64::from(lengths.app));
+        let b = Asn((epoch + 1) * u64::from(lengths.app));
+        let moved = (2u16..52)
+            .flat_map(|id| (1..=3u8).map(move |p| (id, p)))
+            .filter(|(id, p)| {
+                s.scheduled_slot(NodeId(*id), *p, a) != s.scheduled_slot(NodeId(*id), *p, b)
+            })
+            .count();
+        prop_assert!(moved > 0, "two consecutive epochs produced identical schedules");
+    }
+
     /// The scheduler's receive cells always sit exactly on registered
     /// children's attempt slots.
     #[test]

@@ -441,6 +441,42 @@ impl Engine {
         }
         self.stats.slots += 1;
 
+        // Adaptive jammers passively observe this slot's committed physical
+        // channels and advance their learn/jam state machines. The sniffer
+        // consumes no engine randomness, so determinism is untouched; the
+        // engine-level counters are cumulative sums over all jammers.
+        let mut any_adaptive = false;
+        for jammer in &mut self.jammers {
+            if let Some(t) = jammer.observe_slot(asn, &committed_channels) {
+                if tracing {
+                    self.trace.record_network(
+                        asn.0,
+                        EventKind::AttackPhase {
+                            jamming: t.jamming,
+                            targets: t.targets,
+                            hit_rate_bp: t.hit_rate_bp,
+                        },
+                    );
+                }
+            }
+            any_adaptive |= jammer.adaptive_counters().is_some();
+        }
+        if any_adaptive {
+            let mut sum = crate::interference::AdaptiveCounters::default();
+            for c in self.jammers.iter().filter_map(Jammer::adaptive_counters) {
+                sum.jam_slots += c.jam_slots;
+                sum.hits += c.hits;
+                sum.opportunities += c.opportunities;
+                sum.retargets += c.retargets;
+                sum.relearns += c.relearns;
+            }
+            self.stats.adaptive_jam_slots = sum.jam_slots;
+            self.stats.adaptive_jam_hits = sum.hits;
+            self.stats.adaptive_jam_opportunities = sum.opportunities;
+            self.stats.adaptive_retargets = sum.retargets;
+            self.stats.adaptive_relearns = sum.relearns;
+        }
+
         // Phase 5: callbacks — deliveries first, then outcomes, in id order.
         deliveries.sort_by_key(|(rx, _, _)| *rx);
         for (rx_id, k, rss) in &deliveries {

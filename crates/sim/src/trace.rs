@@ -45,6 +45,21 @@ pub struct EngineStats {
     /// Receptions lost to the PRR roll while at least one other frame
     /// contended on the same channel (interference-degraded SINR).
     pub collision_drops: u64,
+    /// Slots in which an adaptive jammer emitted on at least one of its
+    /// learned target cells (selective jamming activity).
+    pub adaptive_jam_slots: u64,
+    /// Adaptive-jammer target cells that saw a victim transmission while
+    /// being jammed (the attacker's successful predictions).
+    pub adaptive_jam_hits: u64,
+    /// Adaptive-jammer target-cell activations (jammed cells, hit or not) —
+    /// the denominator of the attacker hit-rate.
+    pub adaptive_jam_opportunities: u64,
+    /// Times an adaptive jammer finished a learning window and (re)selected
+    /// its top-K victim cells.
+    pub adaptive_retargets: u64,
+    /// Times an adaptive jammer abandoned a stale target set because its
+    /// hit-rate decayed below threshold and went back to learning.
+    pub adaptive_relearns: u64,
 }
 
 impl EngineStats {

@@ -311,6 +311,27 @@ pub enum EventKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// An adaptive jammer changed phase (run-scoped, on [`NETWORK_NODE`]):
+    /// it either finished a learning window and started jamming its chosen
+    /// target cells, or abandoned a stale target set and went back to
+    /// learning.
+    AttackPhase {
+        /// `true` when entering the jamming phase, `false` when the
+        /// attacker falls back to passive learning.
+        jamming: bool,
+        /// Number of (slot, channel-offset) target cells now jammed
+        /// (0 while learning).
+        targets: u32,
+        /// Hit-rate of the evaluation window that triggered the
+        /// transition, in basis points (0–10000).
+        hit_rate_bp: u32,
+    },
+    /// The schedule-randomization defense rolled over to a new epoch
+    /// permutation (run-scoped, on [`NETWORK_NODE`]).
+    DefenseEpoch {
+        /// Randomization epoch index (ASN / application slotframe length).
+        epoch: u64,
+    },
 }
 
 impl EventKind {
@@ -356,6 +377,8 @@ impl EventKind {
             EventKind::ClockDesync => "clock-desync",
             EventKind::AuditViolation { .. } => "audit-violation",
             EventKind::HealthAlert { .. } => "health-alert",
+            EventKind::AttackPhase { .. } => "attack-phase",
+            EventKind::DefenseEpoch { .. } => "defense-epoch",
         }
     }
 }
@@ -438,6 +461,11 @@ impl fmt::Display for Event {
             }
             EventKind::AuditViolation { kind, detail } => write!(f, " {kind}: {detail}")?,
             EventKind::HealthAlert { rule, detail } => write!(f, " {rule}: {detail}")?,
+            EventKind::AttackPhase { jamming, targets, hit_rate_bp } => {
+                let phase = if *jamming { "jamming" } else { "learning" };
+                write!(f, " {phase} targets={targets} hit_rate={hit_rate_bp}bp")?;
+            }
+            EventKind::DefenseEpoch { epoch } => write!(f, " epoch={epoch}")?,
             _ => {}
         }
         Ok(())

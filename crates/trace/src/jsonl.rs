@@ -130,6 +130,15 @@ fn write_event(out: &mut String, event: &Event) {
             out.push_str(",\"detail\":");
             write_json_string(out, detail);
         }
+        EventKind::AttackPhase { jamming, targets, hit_rate_bp } => {
+            let _ = write!(
+                out,
+                ",\"jamming\":{jamming},\"targets\":{targets},\"hit_rate_bp\":{hit_rate_bp}"
+            );
+        }
+        EventKind::DefenseEpoch { epoch } => {
+            let _ = write!(out, ",\"epoch\":{epoch}");
+        }
     }
     out.push('}');
 }
@@ -505,6 +514,14 @@ fn decode_event(value: &Value) -> Result<Event, String> {
             rule: value.field("rule")?.as_str()?.to_owned(),
             detail: value.field("detail")?.as_str()?.to_owned(),
         },
+        "attack-phase" => EventKind::AttackPhase {
+            jamming: value.field("jamming")?.as_bool()?,
+            targets: u32::try_from(value.field("targets")?.as_u64()?)
+                .map_err(|_| "targets out of range")?,
+            hit_rate_bp: u32::try_from(value.field("hit_rate_bp")?.as_u64()?)
+                .map_err(|_| "hit_rate_bp out of range")?,
+        },
+        "defense-epoch" => EventKind::DefenseEpoch { epoch: value.field("epoch")?.as_u64()? },
         other => return Err(format!("unknown event name \"{other}\"")),
     };
     Ok(Event { seq, asn, node, kind })
@@ -615,6 +632,24 @@ mod tests {
                     rule: "pdr-collapse".into(),
                     detail: "flow 0 epoch PDR 0.42 < 0.70".into(),
                 },
+            },
+            Event {
+                seq: 22,
+                asn: 180,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::AttackPhase { jamming: true, targets: 12, hit_rate_bp: 0 },
+            },
+            Event {
+                seq: 23,
+                asn: 185,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::AttackPhase { jamming: false, targets: 0, hit_rate_bp: 450 },
+            },
+            Event {
+                seq: 24,
+                asn: 190,
+                node: crate::event::NETWORK_NODE,
+                kind: EventKind::DefenseEpoch { epoch: 3 },
             },
         ]
     }
