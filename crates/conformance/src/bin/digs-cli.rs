@@ -18,6 +18,11 @@
 //! digs-cli gate [--matrix small|full] [--seeds SPEC] [--secs N]
 //!               [--jobs N] [--goldens DIR] [--bless] [--json]
 //!               [--summary FILE] [--inject-loss SUBSTR]
+//! digs-cli fleet run [--template oil|factory|mixed] [--networks N]
+//!               [--seed-base N] [--secs N] [--jobs N]
+//!               [--sharded-devices N] [--shard-size N] [--sharded-seed N]
+//!               [--report FILE] [--inject-loss SUBSTR] [--json]
+//! digs-cli fleet report --input FILE [--json]
 //! ```
 //!
 //! The `trace` commands run a network with the flight recorder enabled
@@ -42,6 +47,18 @@
 //! terminal dashboard while the scenario runs. `--jam START:END` drops a
 //! full-band high-power WiFi jammer cluster on every access point for the
 //! given window (seconds) — the canonical fault-injection smoke.
+//!
+//! `fleet run` stamps out a fleet of independent template networks
+//! (`--template mixed` alternates oil-field and factory-floor), plus an
+//! optional spatially sharded large network (`--sharded-devices`,
+//! `--shard-size` devices per shard), fans them over the worker pool,
+//! and aggregates the per-network telemetry into one fleet SLO report.
+//! `--report FILE` writes the canonical JSON form (deterministic bytes —
+//! wall-clock timings are excluded), `fleet report --input FILE`
+//! re-renders a saved report, and `--inject-loss SUBSTR` halves the
+//! delivery metrics of matching networks to demonstrate the SLO gate
+//! tripping. Worker count: `--jobs`, else `DIGS_FLEET_JOBS`, else one
+//! per core. Exit status: 0 when every SLO holds, 1 on a breach.
 //!
 //! `gate` runs the conformance matrix in parallel and compares the
 //! per-scenario aggregates against `goldens/<matrix>.json` with the
@@ -107,7 +124,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: digs-cli <run|topology|graph|manager|trace|telemetry|gate> [--topology T] \
+    "usage: digs-cli <run|topology|graph|manager|trace|telemetry|gate|fleet> [--topology T] \
      [--protocol P] [--secs N] [--flows N] [--period-ms N] [--jammers N] \
      [--adaptive-jam START] [--randomize SECRET] [--seed N] [--json]\n\
      trace subcommands: journeys [--min-complete N] | churn | dump  \
@@ -115,7 +132,10 @@ fn usage() -> String {
      telemetry subcommands: export [--format jsonl|csv] | report | top  \
      (plus --epoch-slots N, --cap N, --jam START:END)\n\
      gate: [--matrix small|full] [--seeds SPEC] [--secs N] [--jobs N] \
-     [--goldens DIR] [--bless] [--summary FILE] [--inject-loss SUBSTR]"
+     [--goldens DIR] [--bless] [--summary FILE] [--inject-loss SUBSTR]\n\
+     fleet subcommands: run [--template oil|factory|mixed] [--networks N] \
+     [--seed-base N] [--secs N] [--jobs N] [--sharded-devices N] [--shard-size N] \
+     [--sharded-seed N] [--report FILE] [--inject-loss SUBSTR] | report --input FILE"
         .to_string()
 }
 
@@ -539,6 +559,179 @@ fn cmd_gate(args: &Args) -> Result<(), String> {
     }
 }
 
+fn fleet_jobs(args: &Args) -> Result<Option<usize>, String> {
+    if let Some(jobs) = args.options.get("jobs") {
+        return jobs.parse().map(Some).map_err(|e| format!("bad --jobs: {e}"));
+    }
+    match std::env::var("DIGS_FLEET_JOBS") {
+        Ok(v) => v.parse().map(Some).map_err(|e| format!("bad DIGS_FLEET_JOBS `{v}`: {e}")),
+        Err(_) => Ok(None),
+    }
+}
+
+fn cmd_fleet_run(args: &Args) -> Result<(), String> {
+    use digs_fleet::{FleetSpec, ShardedSpec, SloPolicy, Template};
+    let networks: u32 = get(args, "networks", 32)?;
+    let seed_base: u64 = get(args, "seed-base", 1)?;
+    let secs: u64 = get(args, "secs", 600)?;
+    let sharded_devices: usize = get(args, "sharded-devices", 0)?;
+
+    let mut spec = FleetSpec::new().secs(secs);
+    match args.options.get("template").map_or("mixed", String::as_str) {
+        "mixed" => {
+            // Alternating split: oil-field gets the odd network out.
+            let oil = networks.div_ceil(2);
+            if oil > 0 {
+                spec = spec.group(Template::OilField, oil, seed_base);
+            }
+            if networks > oil {
+                spec = spec.group(Template::FactoryFloor, networks - oil, seed_base);
+            }
+        }
+        name => {
+            let template: Template = name.parse()?;
+            spec = spec.group(template, networks, seed_base);
+        }
+    }
+    if sharded_devices > 0 {
+        let sharded_seed: u64 = get(args, "sharded-seed", seed_base)?;
+        let mut sharded =
+            ShardedSpec::sized(format!("campus-{sharded_devices}"), sharded_devices, sharded_seed);
+        sharded.shard_devices = get(args, "shard-size", sharded.shard_devices)?;
+        if sharded.shard_devices == 0 {
+            return Err("--shard-size must be > 0".into());
+        }
+        spec = spec.sharded(sharded);
+    }
+    if spec.networks() == 0 {
+        return Err("empty fleet: need --networks > 0 or --sharded-devices > 0".into());
+    }
+
+    let outcome = digs_fleet::run_fleet(&spec, fleet_jobs(args)?);
+    let mut summaries = outcome.summaries;
+    if let Some(pattern) = args.options.get("inject-loss") {
+        let hit = digs_fleet::degrade_matching(&mut summaries, pattern);
+        eprintln!("fleet: injected loss into {hit} network(s) matching `{pattern}`");
+    }
+    let report = digs_fleet::aggregate(&summaries, spec.secs);
+    let policy = SloPolicy::new();
+
+    let rate = outcome.node_secs as f64 / outcome.serial_equivalent.as_secs_f64().max(1e-9);
+    eprintln!(
+        "fleet: wall {:.1} s, serial-equivalent {:.1} s on {} worker(s), {:.0} node-sec/core-sec",
+        outcome.wall.as_secs_f64(),
+        outcome.serial_equivalent.as_secs_f64(),
+        outcome.jobs,
+        rate
+    );
+    if args.json {
+        println!("{}", report.to_json(&policy).to_pretty());
+    } else {
+        print!("{}", report.render(&policy));
+    }
+    if let Some(path) = args.options.get("report") {
+        let text = report.to_json(&policy).to_pretty() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("fleet: canonical report written to {path}");
+    }
+    let breaches = report.breaches(&policy);
+    if breaches.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("fleet SLO gate breached ({} breach(es))", breaches.len()))
+    }
+}
+
+fn cmd_fleet_report(args: &Args) -> Result<(), String> {
+    let path = args.options.get("input").ok_or("fleet report needs --input FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = digs_conformance::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if args.json {
+        println!("{}", v.to_pretty());
+        return Ok(());
+    }
+    let num = |key: &str| v.field(key).and_then(|f| f.as_f64());
+    let show = |x: Option<f64>| x.map_or("-".to_string(), |x| format!("{x}"));
+    println!("fleet SLO report ({path})");
+    println!(
+        "  networks        : {} ({} nodes, {} s simulated each)",
+        show(num("networks")),
+        show(num("nodes")),
+        show(num("secs"))
+    );
+    println!(
+        "  fleet PDR       : {} ({} / {} packets; mean network {})",
+        show(num("fleet_pdr")),
+        show(num("delivered")),
+        show(num("generated")),
+        show(num("mean_network_pdr"))
+    );
+    println!(
+        "  e2e latency     : p50 {} ms / p99 {} ms ({} samples)",
+        show(num("latency_p50_ms").map(|x| x.round())),
+        show(num("latency_p99_ms").map(|x| x.round())),
+        show(num("latency_samples"))
+    );
+    println!(
+        "  health alerts   : {} network(s), {} alert(s)",
+        show(num("alert_networks")),
+        show(num("total_alerts"))
+    );
+    println!(
+        "  audit violations: {} network(s), {} violation(s)",
+        show(num("violation_networks")),
+        show(num("total_violations"))
+    );
+    println!("  worst networks  :");
+    for w in v.field("worst_networks").and_then(|f| f.as_arr()).unwrap_or(&[]) {
+        println!(
+            "    {}  {}",
+            w.field("pdr").and_then(|f| f.as_f64()).map_or("-".into(), |p| format!("{p:.4}")),
+            w.field("label").and_then(|f| f.as_str()).unwrap_or("?")
+        );
+    }
+    for (key, header, field) in [
+        ("alerting_networks", "  most alerting   :", "alerts"),
+        ("violating_networks", "  violating       :", "violations"),
+    ] {
+        let rows = v.field(key).and_then(|f| f.as_arr()).unwrap_or(&[]);
+        if !rows.is_empty() {
+            println!("{header}");
+            for w in rows {
+                println!(
+                    "    {:>6}  {}",
+                    w.field(field).and_then(|f| f.as_f64()).map_or("-".into(), |n| format!("{n}")),
+                    w.field("label").and_then(|f| f.as_str()).unwrap_or("?")
+                );
+            }
+        }
+    }
+    let slo = v.field("slo");
+    let passed = slo
+        .and_then(|s| s.field("passed"))
+        .is_some_and(|p| matches!(p, digs_conformance::json::Value::Bool(true)));
+    println!("  SLO             : {}", if passed { "PASSED" } else { "FAILED" });
+    if let Some(breaches) = slo.and_then(|s| s.field("breaches")).and_then(|b| b.as_arr()) {
+        for b in breaches {
+            println!("    breach: {}", b.as_str().unwrap_or("?"));
+        }
+    }
+    if passed {
+        Ok(())
+    } else {
+        Err("saved report records an SLO breach".into())
+    }
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    match args.subcommand.as_deref() {
+        Some("run") => cmd_fleet_run(args),
+        Some("report") => cmd_fleet_report(args),
+        Some(other) => Err(format!("unknown fleet subcommand `{other}` (run|report)")),
+        None => Err(format!("fleet needs a subcommand (run|report)\n{}", usage())),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -555,6 +748,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "telemetry" => cmd_telemetry(&args),
         "gate" => cmd_gate(&args),
+        "fleet" => cmd_fleet(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {

@@ -124,7 +124,14 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
         jobs
     );
     let wall_start = std::time::Instant::now();
-    let timed = pool::par_map_timed(tasks, jobs, |(i, seed)| specs[i].run(seed));
+    // Labeled fan-out: if a run panics, the pool reports which
+    // scenario/seed fell over instead of a bare join failure.
+    let timed = pool::par_map_labeled(
+        tasks,
+        jobs,
+        |_, (i, seed)| format!("{}/seed{}", specs[*i].name, seed),
+        |(i, seed)| specs[i].run(seed),
+    );
     let wall = wall_start.elapsed();
     let serial_equivalent: Duration = timed.iter().map(|t| t.elapsed).sum();
     let mut records: Vec<RunMetrics> = timed.into_iter().map(|t| t.value).collect();

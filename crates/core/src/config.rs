@@ -74,6 +74,18 @@ pub struct NetworkConfig {
     /// defers to `DIGS_TELEMETRY_CAP` (default 4096); `Some(0)` forces
     /// telemetry off regardless of the environment.
     pub telemetry_cap: Option<usize>,
+    /// Seconds after convergence before the health monitor's steady-state
+    /// rules arm (`None` = the watchdog default). Large dense deployments
+    /// need this sized up: link quality is only discovered by data
+    /// traffic, so the first minutes after the flows start legitimately
+    /// lose packets while ETX estimates correct themselves.
+    pub health_settle_secs: Option<u64>,
+    /// Parent changes per telemetry epoch the health monitor tolerates
+    /// before raising a churn-storm alert (`None` = the watchdog default,
+    /// sized for ~30-node testbeds). Scale this with device count:
+    /// discovery-phase parent selection legitimately swaps more parents
+    /// per epoch in larger deployments.
+    pub health_churn_storm: Option<u32>,
     /// Schedule-randomization defense (DiGS only): a shared secret from
     /// which every node re-derives its application-cell placement each
     /// slotframe epoch, defeating schedule-learning jammers. `None` defers
@@ -104,6 +116,8 @@ impl NetworkConfig {
                 trace_cap: None,
                 telemetry_epoch: None,
                 telemetry_cap: None,
+                health_settle_secs: None,
+                health_churn_storm: None,
                 sched_randomize: None,
             },
         }
@@ -242,6 +256,23 @@ impl NetworkConfigBuilder {
     /// decides, defaulting to 4096.
     pub fn telemetry_cap(mut self, cap: usize) -> Self {
         self.config.telemetry_cap = Some(cap);
+        self
+    }
+
+    /// Sizes the health monitor's settle window (seconds after
+    /// convergence before the steady-state alert rules arm). Without this
+    /// call the watchdog default (10 s) applies — too short for large
+    /// deployments whose link discovery takes minutes of data traffic.
+    pub fn health_settle_secs(mut self, secs: u64) -> Self {
+        self.config.health_settle_secs = Some(secs);
+        self
+    }
+
+    /// Sets the churn-storm alert threshold (parent changes per telemetry
+    /// epoch). Without this call the watchdog default (8) applies — sized
+    /// for ~30-node testbeds, too twitchy for larger deployments.
+    pub fn health_churn_storm(mut self, changes: u32) -> Self {
+        self.config.health_churn_storm = Some(changes);
         self
     }
 

@@ -133,11 +133,14 @@ impl Network {
             }
         }
         let telemetry = TelemetrySettings::resolve(&config).map(|settings| {
-            Box::new(TelemetrySampler::new(
-                settings,
-                crate::telemetry::HealthConfig::default(),
-                config.topology.len(),
-            ))
+            let mut health = crate::telemetry::HealthConfig::default();
+            if let Some(settle) = config.health_settle_secs {
+                health.settle_secs = settle;
+            }
+            if let Some(changes) = config.health_churn_storm {
+                health.churn_storm = u64::from(changes);
+            }
+            Box::new(TelemetrySampler::new(settings, health, config.topology.len()))
         });
         Network {
             config,
@@ -237,10 +240,9 @@ impl Network {
         let end = self.engine.asn().0;
         let mut boundary = (start / app + 1) * app;
         while boundary <= end {
-            self.engine.trace().record_network(
-                boundary,
-                EventKind::DefenseEpoch { epoch: boundary / app },
-            );
+            self.engine
+                .trace()
+                .record_network(boundary, EventKind::DefenseEpoch { epoch: boundary / app });
             boundary += app;
         }
     }
@@ -256,6 +258,14 @@ impl Network {
     /// way the paper turned off "nodes on the routing graph").
     pub fn set_fault_plan(&mut self, plan: digs_sim::fault::FaultPlan) {
         self.engine.set_fault_plan(plan);
+    }
+
+    /// Replaces the engine's ambient (cross-network) interference set.
+    /// The fleet's shard-boundary exchange calls this at slotframe-window
+    /// edges with fresh boundary-load estimates; emission is hash-gated,
+    /// so swapping the set never perturbs the run's random stream.
+    pub fn set_ambient_jammers(&mut self, ambient: Vec<digs_sim::interference::Jammer>) {
+        self.engine.set_ambient_jammers(ambient);
     }
 
     /// Runs for `secs` simulated seconds.

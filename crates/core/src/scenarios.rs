@@ -21,7 +21,7 @@ use digs_sim::interference::Jammer;
 use digs_sim::position::Position;
 use digs_sim::rf::RfConfig;
 use digs_sim::time::Asn;
-use digs_sim::topology::Topology;
+use digs_sim::topology::{Role, Topology};
 
 /// Seconds of warm-up before flows start generating (network formation
 /// takes ~15–25 s; the paper measures steady-state flows).
@@ -397,6 +397,141 @@ pub fn initialization_on(topology: Topology, protocol: Protocol, seed: u64) -> N
     NetworkConfig::builder(topology).protocol(protocol).seed(seed).build()
 }
 
+/// The oil-field deployment from the paper's introduction ("hundreds of
+/// devices over an oil field"), promoted from the `oil_field` example so
+/// the fleet runner can instantiate it by the thousand: five wellhead
+/// clusters of six devices each spaced along a pipeline, a pressure
+/// sensor every 12 m between clusters, and two access points at pump
+/// stations a third of the way along the pipeline each — the placement
+/// keeps every wellhead within a few hops of an AP, which the 5 s
+/// monitor period needs (an AP-less far end turns into a 7-hop queue
+/// that no slotframe can drain). 47 nodes.
+pub fn oil_field_topology() -> Topology {
+    let mut positions = vec![Position::new(60.0, 4.0), Position::new(120.0, -4.0)];
+    let mut roles = vec![Role::AccessPoint, Role::AccessPoint];
+    // Pipeline pressure sensors: every 12 m for 180 m.
+    for i in 1..=15 {
+        positions.push(Position::new(12.0 * f64::from(i), 0.0));
+        roles.push(Role::FieldDevice);
+    }
+    // Wellhead clusters hanging off the pipeline, alternating sides.
+    for cluster in 0..5u32 {
+        let base_x = 30.0 + 36.0 * f64::from(cluster);
+        for k in 0..6u32 {
+            let dx = f64::from(k % 3) * 5.0;
+            let dy = 8.0 + f64::from(k / 3) * 6.0;
+            let side = if cluster % 2 == 0 { 1.0 } else { -1.0 };
+            positions.push(Position::new(base_x + dx, side * dy));
+            roles.push(Role::FieldDevice);
+        }
+    }
+    Topology::new("oil-field", positions, roles)
+}
+
+/// Oil-field scenario: 6 monitor flows @ 5 s from the wellhead clusters
+/// farthest from the pump stations, at full CC2420 power (the open-area
+/// model still yields 2–4 hop routes, and the link margin keeps epoch
+/// PDR clear of the health monitor's floor). The deepest clusters need
+/// A·devices distinct Eq. 4 cells, so the application slotframe is
+/// sized to the deployment (149 is prime: 45 devices × 3 attempts = 135
+/// cells fit).
+pub fn oil_field(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    oil_field_on(oil_field_topology(), protocol, flow_seed)
+}
+
+/// [`oil_field`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn oil_field_on(topology: Topology, protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    let flows = delay_flows(far_flow_set(&topology, 6, 500, flow_seed), WARMUP_SECS);
+    let slotframes = digs_scheduling::SlotframeLengths {
+        app: 149,
+        ..digs_scheduling::SlotframeLengths::paper()
+    };
+    NetworkConfig::builder(topology)
+        .protocol(protocol)
+        .rf(RfConfig::open_area())
+        .slotframes(slotframes)
+        .seed(flow_seed.wrapping_mul(0x011f) ^ 0x01)
+        .flows(flows)
+        // Link quality over the pipeline takes ~2 min of data traffic to
+        // discover (shadowed links start with optimistic RSS-based ETX).
+        .health_settle_secs(150)
+        // 45 devices swap more parents per epoch during discovery than
+        // the testbed-sized watchdog default tolerates.
+        .health_churn_storm(16)
+        .build()
+}
+
+/// The factory-floor deployment the fleet runner's second template uses:
+/// 80 field devices on a 10 × 8 machine-row grid (9 m pitch, with a
+/// deterministic sub-meter stagger so rows are not perfectly collinear)
+/// and two access points on the central aisle. 82 nodes — sized so the
+/// Eq. 4 application slotframe stays short enough (241 slots) that
+/// multi-hop latency clears the 10 s monitor period with margin; the
+/// fleet's *sharded* campus networks are where node counts scale.
+pub fn factory_floor_topology() -> Topology {
+    const COLS: u32 = 10;
+    const ROWS: u32 = 8;
+    const PITCH: f64 = 9.0;
+    let width = f64::from(COLS - 1) * PITCH;
+    let height = f64::from(ROWS - 1) * PITCH;
+    // Two access points on the central aisle at the third points: every
+    // machine row is then within a few hops of an AP (end-of-hall
+    // placement leaves 120 m diagonals that multi-hop latency cannot
+    // cover at the monitor period).
+    let mut positions = vec![
+        Position::new(width / 3.0, height * 0.5),
+        Position::new(2.0 * width / 3.0, height * 0.5),
+    ];
+    let mut roles = vec![Role::AccessPoint, Role::AccessPoint];
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            let dx = (digs_sim::rng::uniform01(0xFAC7, u64::from(r), u64::from(c), 0) - 0.5) * 2.0;
+            let dy = (digs_sim::rng::uniform01(0xFAC7, u64::from(r), u64::from(c), 1) - 0.5) * 2.0;
+            positions.push(Position::new(f64::from(c) * PITCH + dx, f64::from(r) * PITCH + dy));
+            roles.push(Role::FieldDevice);
+        }
+    }
+    Topology::new("factory-floor", positions, roles)
+}
+
+/// Factory-floor scenario: 8 monitor flows @ 10 s sourced away from
+/// the access points. 80 devices × 3 attempts = 240 Eq. 4 cells, so
+/// the application slotframe is the 241-slot prime — at 2.41 s per
+/// frame each device forwards at most ~1.2 pkt/s, which keeps the
+/// DAG's shared relays below saturation and the 2–3 hop latency well
+/// inside the monitor period (the earlier 14 × 9 hall at 457 slots sat
+/// at the stability edge: median latency ≈ the period, and whole flows
+/// starved whenever relays backlogged).
+pub fn factory_floor(protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    factory_floor_on(factory_floor_topology(), protocol, flow_seed)
+}
+
+/// [`factory_floor`] on a pre-built topology (see
+/// [`testbed_a_interference_on`]).
+pub fn factory_floor_on(topology: Topology, protocol: Protocol, flow_seed: u64) -> NetworkConfig {
+    let flows = delay_flows(far_flow_set(&topology, 8, 1000, flow_seed), WARMUP_SECS);
+    let slotframes = digs_scheduling::SlotframeLengths {
+        app: 241,
+        ..digs_scheduling::SlotframeLengths::paper()
+    };
+    NetworkConfig::builder(topology)
+        .protocol(protocol)
+        // Full CC2420 power: the 9 m machine-row pitch under the indoor
+        // model needs the margin to keep per-hop PRR high.
+        .rf(RfConfig { tx_power: digs_sim::rf::Dbm(0.0), ..RfConfig::indoor() })
+        .slotframes(slotframes)
+        .seed(flow_seed.wrapping_mul(0xfac7) ^ 0x0F)
+        .flows(flows)
+        // 80 indoor devices churn through shadowed links for minutes
+        // before ETX estimates settle; don't alert on the discovery
+        // phase, and scale the churn-storm threshold to the device count
+        // (discovery swaps 10–15 parents per epoch at this size).
+        .health_settle_secs(300)
+        .health_churn_storm(24)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +575,33 @@ mod tests {
             let p = topo.position(*r);
             assert!(p.x > 10.0 && p.x < 50.0, "relay {r} at {p}");
         }
+    }
+
+    #[test]
+    fn fleet_templates_have_expected_shape() {
+        let oil = oil_field(Protocol::Digs, 1);
+        assert_eq!(oil.topology.len(), 47);
+        assert_eq!(oil.topology.num_access_points(), 2);
+        assert_eq!(oil.flows.len(), 6);
+        assert_eq!(oil.slotframes.app, 149);
+        assert!(oil.flows.iter().all(|f| f.phase >= WARMUP_SECS * 100));
+
+        let factory = factory_floor(Protocol::Digs, 1);
+        assert_eq!(factory.topology.len(), 82);
+        assert_eq!(factory.topology.num_access_points(), 2);
+        assert_eq!(factory.flows.len(), 8);
+        // Eq. 4 needs A x devices = 240 distinct cells.
+        assert_eq!(factory.slotframes.app, 241);
+    }
+
+    #[test]
+    fn fleet_template_seeds_differ() {
+        let a = oil_field(Protocol::Digs, 1);
+        let b = oil_field(Protocol::Digs, 2);
+        assert_ne!(a.seed, b.seed);
+        let sources_a: Vec<NodeId> = a.flows.iter().map(|f| f.source).collect();
+        let sources_b: Vec<NodeId> = b.flows.iter().map(|f| f.source).collect();
+        assert_ne!(sources_a, sources_b, "flow seeds must select different source sets");
     }
 
     #[test]

@@ -487,8 +487,7 @@ impl TelemetrySampler {
         // burst actually landed on a victim transmission. The defense's
         // goal is to pin this near the 1-in-16 channel-guessing floor.
         if stats.adaptive_jam_opportunities > 0 {
-            let rate =
-                stats.adaptive_jam_hits as f64 / stats.adaptive_jam_opportunities as f64;
+            let rate = stats.adaptive_jam_hits as f64 / stats.adaptive_jam_opportunities as f64;
             g.gauge("jam.hit_rate_bp").set((rate * 10_000.0).round() as i64);
         }
         // Normalized Shannon entropy of this window's per-channel transmit

@@ -1,0 +1,481 @@
+//! Fleet-level aggregation: merge per-network summaries into one SLO
+//! report, check it against a policy, and render it as canonical JSON
+//! (byte-identical for identical spec + seed — wall-clock timings are
+//! deliberately excluded) or a human-readable table.
+
+use crate::runner::NetworkSummary;
+use digs_json::Value;
+use digs_metrics::histogram::LogHistogram;
+
+/// How many worst networks the report names.
+pub const WORST_K: usize = 5;
+
+/// Wire names of the health rules, in [`crate::runner::NetworkSummary::alert_kinds`] order.
+pub const ALERT_RULES: [&str; 4] =
+    ["pdr-collapse", "churn-storm", "queue-saturation", "convergence-stall"];
+
+/// Fleet service-level objectives. A breach makes `digs-cli fleet run`
+/// exit non-zero (the CI gate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPolicy {
+    /// Minimum pooled fleet PDR (delivered / generated across every
+    /// network).
+    pub fleet_pdr_floor: f64,
+    /// Minimum per-network PDR — the single worst network may not fall
+    /// below this.
+    pub worst_network_pdr_floor: f64,
+    /// Maximum fraction of networks with at least one health alert.
+    pub max_alert_rate: f64,
+    /// Maximum fraction of networks with at least one audit violation.
+    pub max_violation_rate: f64,
+}
+
+impl SloPolicy {
+    /// Defaults calibrated to clean (un-jammed, un-faulted) scenarios:
+    /// pooled PDR ≥ 0.90, no network below 0.50, at most 5% of networks
+    /// alerting, zero invariant violations anywhere. The alert ceiling
+    /// sits above the measured clean realization tail (~3% of 1600
+    /// template networks raise at least one discovery-phase alert over
+    /// 600 s) and far below any fault signature (a jammed fleet alerts
+    /// at tens of percent); violations stay zero-tolerance because a
+    /// frozen invariant breach is an incident, not noise.
+    pub fn new() -> SloPolicy {
+        SloPolicy {
+            fleet_pdr_floor: 0.90,
+            worst_network_pdr_floor: 0.50,
+            max_alert_rate: 0.05,
+            max_violation_rate: 0.0,
+        }
+    }
+}
+
+impl Default for SloPolicy {
+    fn default() -> SloPolicy {
+        SloPolicy::new()
+    }
+}
+
+/// The aggregated fleet SLO report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Networks aggregated (shards count individually).
+    pub networks: u64,
+    /// Total nodes simulated.
+    pub nodes: u64,
+    /// Simulated seconds per network.
+    pub secs: u64,
+    /// Packets generated fleet-wide.
+    pub generated: u64,
+    /// Packets delivered fleet-wide.
+    pub delivered: u64,
+    /// Pooled fleet PDR (delivered / generated).
+    pub fleet_pdr: f64,
+    /// Mean of per-network PDRs.
+    pub mean_network_pdr: f64,
+    /// Mean fraction of nodes joined.
+    pub mean_fraction_joined: f64,
+    /// Merged end-to-end latency histogram, ms.
+    pub latency: LogHistogram,
+    /// Networks with at least one health alert.
+    pub alert_networks: u64,
+    /// Total health alerts.
+    pub total_alerts: u64,
+    /// Fleet-wide alerts by rule, in [`ALERT_RULES`] order.
+    pub alert_kind_totals: [u64; 4],
+    /// Networks with at least one audit violation.
+    pub violation_networks: u64,
+    /// Total audit violations.
+    pub total_violations: u64,
+    /// The worst [`WORST_K`] networks by PDR (label, pdr), ascending.
+    pub worst: Vec<(String, f64)>,
+    /// The [`WORST_K`] networks with the most health alerts
+    /// (label, alerts), descending — empty when nothing alerted.
+    pub alerting: Vec<(String, u64)>,
+    /// The [`WORST_K`] networks with the most audit violations
+    /// (label, violations), descending — empty when nothing violated.
+    pub violating: Vec<(String, u64)>,
+}
+
+/// Merges per-network summaries into the fleet report. The latency
+/// histograms merge per-bucket ([`LogHistogram::merge`]), so the fleet
+/// quantiles agree with a single histogram fed every network's samples.
+pub fn aggregate(summaries: &[NetworkSummary], secs: u64) -> FleetReport {
+    let mut latency = LogHistogram::new();
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut alerts = (0u64, 0u64);
+    let mut alert_kind_totals = [0u64; 4];
+    let mut violations = (0u64, 0u64);
+    let mut pdr_sum = 0.0;
+    let mut joined_sum = 0.0;
+    let mut nodes = 0u64;
+    for s in summaries {
+        latency.merge(&s.latency);
+        generated += s.generated;
+        delivered += s.delivered;
+        alerts = (alerts.0 + u64::from(s.alerts > 0), alerts.1 + s.alerts);
+        for (total, kind) in alert_kind_totals.iter_mut().zip(&s.alert_kinds) {
+            *total += kind;
+        }
+        violations = (violations.0 + u64::from(s.violations > 0), violations.1 + s.violations);
+        pdr_sum += s.pdr;
+        joined_sum += s.fraction_joined;
+        nodes += u64::from(s.nodes);
+    }
+    let n = summaries.len().max(1) as f64;
+    let mut by_pdr: Vec<(String, f64)> =
+        summaries.iter().map(|s| (s.label.clone(), s.pdr)).collect();
+    // Ascending by PDR; label breaks ties so the report is deterministic.
+    by_pdr.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    by_pdr.truncate(WORST_K);
+    // Descending by count, label breaking ties — deterministic like the
+    // worst-PDR table.
+    let top_by = |count: fn(&NetworkSummary) -> u64| {
+        let mut v: Vec<(String, u64)> = summaries
+            .iter()
+            .filter(|s| count(s) > 0)
+            .map(|s| (s.label.clone(), count(s)))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(WORST_K);
+        v
+    };
+    FleetReport {
+        networks: summaries.len() as u64,
+        nodes,
+        secs,
+        generated,
+        delivered,
+        fleet_pdr: if generated == 0 { 1.0 } else { delivered as f64 / generated as f64 },
+        mean_network_pdr: pdr_sum / n,
+        mean_fraction_joined: joined_sum / n,
+        latency,
+        alert_networks: alerts.0,
+        total_alerts: alerts.1,
+        alert_kind_totals,
+        violation_networks: violations.0,
+        total_violations: violations.1,
+        worst: by_pdr,
+        alerting: top_by(|s| s.alerts),
+        violating: top_by(|s| s.violations),
+    }
+}
+
+/// Test hook mirroring the conformance gate's `--inject-loss`: halve the
+/// delivery metrics of summaries whose label contains `pattern`, to
+/// demonstrate that a deliberate degradation trips the fleet SLO gate.
+pub fn degrade_matching(summaries: &mut [NetworkSummary], pattern: &str) -> usize {
+    let mut hit = 0;
+    for s in summaries.iter_mut().filter(|s| s.label.contains(pattern)) {
+        s.pdr *= 0.5;
+        s.worst_flow_pdr *= 0.5;
+        s.delivered /= 2;
+        hit += 1;
+    }
+    hit
+}
+
+impl FleetReport {
+    /// Fraction of networks with at least one health alert.
+    pub fn alert_rate(&self) -> f64 {
+        self.alert_networks as f64 / self.networks.max(1) as f64
+    }
+
+    /// Fraction of networks with at least one audit violation.
+    pub fn violation_rate(&self) -> f64 {
+        self.violation_networks as f64 / self.networks.max(1) as f64
+    }
+
+    /// Every SLO the report breaches under `policy` (empty = pass).
+    pub fn breaches(&self, policy: &SloPolicy) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.fleet_pdr < policy.fleet_pdr_floor {
+            out.push(format!(
+                "fleet PDR {:.4} below floor {:.4}",
+                self.fleet_pdr, policy.fleet_pdr_floor
+            ));
+        }
+        if let Some((label, pdr)) = self.worst.first() {
+            if *pdr < policy.worst_network_pdr_floor {
+                out.push(format!(
+                    "worst network `{label}` PDR {:.4} below floor {:.4}",
+                    pdr, policy.worst_network_pdr_floor
+                ));
+            }
+        }
+        if self.alert_rate() > policy.max_alert_rate {
+            out.push(format!(
+                "{} of {} networks alerting ({:.4} > {:.4})",
+                self.alert_networks,
+                self.networks,
+                self.alert_rate(),
+                policy.max_alert_rate
+            ));
+        }
+        if self.violation_rate() > policy.max_violation_rate {
+            out.push(format!(
+                "{} of {} networks with audit violations ({:.4} > {:.4})",
+                self.violation_networks,
+                self.networks,
+                self.violation_rate(),
+                policy.max_violation_rate
+            ));
+        }
+        out
+    }
+
+    /// The canonical JSON form — deterministic field order, no wall-clock
+    /// timings, so two runs of the same spec + seed serialize to the same
+    /// bytes.
+    pub fn to_json(&self, policy: &SloPolicy) -> Value {
+        let breaches = self.breaches(policy);
+        let q = |p: f64| Value::opt(self.latency.quantile(p));
+        Value::Obj(vec![
+            ("networks".into(), Value::num(self.networks as f64)),
+            ("nodes".into(), Value::num(self.nodes as f64)),
+            ("secs".into(), Value::num(self.secs as f64)),
+            ("generated".into(), Value::num(self.generated as f64)),
+            ("delivered".into(), Value::num(self.delivered as f64)),
+            ("fleet_pdr".into(), Value::num(self.fleet_pdr)),
+            ("mean_network_pdr".into(), Value::num(self.mean_network_pdr)),
+            ("mean_fraction_joined".into(), Value::num(self.mean_fraction_joined)),
+            ("latency_samples".into(), Value::num(self.latency.count() as f64)),
+            ("latency_p50_ms".into(), q(50.0)),
+            ("latency_p99_ms".into(), q(99.0)),
+            ("alert_networks".into(), Value::num(self.alert_networks as f64)),
+            ("total_alerts".into(), Value::num(self.total_alerts as f64)),
+            (
+                "alerts_by_rule".into(),
+                Value::Obj(
+                    ALERT_RULES
+                        .iter()
+                        .zip(&self.alert_kind_totals)
+                        .map(|(rule, &n)| (rule.to_string(), Value::num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            ("violation_networks".into(), Value::num(self.violation_networks as f64)),
+            ("total_violations".into(), Value::num(self.total_violations as f64)),
+            (
+                "worst_networks".into(),
+                Value::Arr(
+                    self.worst
+                        .iter()
+                        .map(|(label, pdr)| {
+                            Value::Obj(vec![
+                                ("label".into(), Value::Str(label.clone())),
+                                ("pdr".into(), Value::num(*pdr)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "alerting_networks".into(),
+                Value::Arr(
+                    self.alerting
+                        .iter()
+                        .map(|(label, n)| {
+                            Value::Obj(vec![
+                                ("label".into(), Value::Str(label.clone())),
+                                ("alerts".into(), Value::num(*n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "violating_networks".into(),
+                Value::Arr(
+                    self.violating
+                        .iter()
+                        .map(|(label, n)| {
+                            Value::Obj(vec![
+                                ("label".into(), Value::Str(label.clone())),
+                                ("violations".into(), Value::num(*n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "slo".into(),
+                Value::Obj(vec![
+                    ("passed".into(), Value::Bool(breaches.is_empty())),
+                    ("breaches".into(), Value::Arr(breaches.into_iter().map(Value::Str).collect())),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable report.
+    pub fn render(&self, policy: &SloPolicy) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let fmt_q =
+            |p: f64| self.latency.quantile(p).map_or("-".to_string(), |v| format!("{v:.0} ms"));
+        let _ = writeln!(out, "fleet SLO report");
+        let _ = writeln!(
+            out,
+            "  networks        : {} ({} nodes, {} s simulated each)",
+            self.networks, self.nodes, self.secs
+        );
+        let _ = writeln!(
+            out,
+            "  fleet PDR       : {:.4} ({} / {} packets; mean network {:.4})",
+            self.fleet_pdr, self.delivered, self.generated, self.mean_network_pdr
+        );
+        let _ = writeln!(
+            out,
+            "  e2e latency     : p50 {} / p99 {} ({} samples)",
+            fmt_q(50.0),
+            fmt_q(99.0),
+            self.latency.count()
+        );
+        let _ = writeln!(out, "  joined          : {:.3} mean fraction", self.mean_fraction_joined);
+        let _ = writeln!(
+            out,
+            "  health alerts   : {} network(s), {} alert(s) (rate {:.4})",
+            self.alert_networks,
+            self.total_alerts,
+            self.alert_rate()
+        );
+        if self.total_alerts > 0 {
+            let kinds: Vec<String> = ALERT_RULES
+                .iter()
+                .zip(&self.alert_kind_totals)
+                .filter(|(_, &n)| n > 0)
+                .map(|(rule, n)| format!("{rule} {n}"))
+                .collect();
+            let _ = writeln!(out, "    by rule: {}", kinds.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "  audit violations: {} network(s), {} violation(s) (rate {:.4})",
+            self.violation_networks,
+            self.total_violations,
+            self.violation_rate()
+        );
+        let _ = writeln!(out, "  worst networks  :");
+        for (label, pdr) in &self.worst {
+            let _ = writeln!(out, "    {pdr:.4}  {label}");
+        }
+        if !self.alerting.is_empty() {
+            let _ = writeln!(out, "  most alerting   :");
+            for (label, n) in &self.alerting {
+                let _ = writeln!(out, "    {n:>6}  {label}");
+            }
+        }
+        if !self.violating.is_empty() {
+            let _ = writeln!(out, "  violating       :");
+            for (label, n) in &self.violating {
+                let _ = writeln!(out, "    {n:>6}  {label}");
+            }
+        }
+        let breaches = self.breaches(policy);
+        if breaches.is_empty() {
+            let _ = writeln!(out, "  SLO             : PASSED");
+        } else {
+            let _ = writeln!(out, "  SLO             : FAILED");
+            for b in &breaches {
+                let _ = writeln!(out, "    breach: {b}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(label: &str, pdr: f64, alerts: u64, violations: u64) -> NetworkSummary {
+        let mut latency = LogHistogram::new();
+        for v in [100, 200, 400] {
+            latency.record(v);
+        }
+        NetworkSummary {
+            label: label.into(),
+            nodes: 47,
+            flows: 6,
+            generated: 100,
+            delivered: (100.0 * pdr) as u64,
+            pdr,
+            worst_flow_pdr: pdr * 0.9,
+            fraction_joined: 1.0,
+            alerts,
+            alert_kinds: [0, alerts, 0, 0],
+            violations,
+            latency,
+        }
+    }
+
+    #[test]
+    fn aggregation_pools_and_ranks() {
+        let summaries =
+            vec![summary("a", 0.99, 0, 0), summary("b", 0.80, 1, 0), summary("c", 0.95, 0, 2)];
+        let report = aggregate(&summaries, 120);
+        assert_eq!(report.networks, 3);
+        assert_eq!(report.nodes, 141);
+        assert_eq!(report.generated, 300);
+        assert_eq!(report.delivered, 99 + 80 + 95);
+        assert_eq!(report.alert_networks, 1);
+        assert_eq!(report.alert_kind_totals, [0, 1, 0, 0]);
+        assert_eq!(report.violation_networks, 1);
+        assert_eq!(report.total_violations, 2);
+        assert_eq!(report.alerting, vec![("b".to_string(), 1)]);
+        assert_eq!(report.violating, vec![("c".to_string(), 2)]);
+        assert_eq!(report.latency.count(), 9, "histograms merge");
+        assert_eq!(report.worst[0], ("b".to_string(), 0.80));
+        assert!((report.mean_network_pdr - (0.99 + 0.80 + 0.95) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_list_is_deterministic_under_ties() {
+        let summaries = vec![summary("z", 0.9, 0, 0), summary("a", 0.9, 0, 0)];
+        let report = aggregate(&summaries, 60);
+        assert_eq!(report.worst[0].0, "a", "label breaks PDR ties");
+    }
+
+    #[test]
+    fn slo_breaches_trip_on_each_axis() {
+        let clean = aggregate(&[summary("a", 0.99, 0, 0)], 60);
+        assert!(clean.breaches(&SloPolicy::new()).is_empty());
+
+        let lossy = aggregate(&[summary("a", 0.40, 0, 0)], 60);
+        let breaches = lossy.breaches(&SloPolicy::new());
+        assert!(breaches.iter().any(|b| b.contains("fleet PDR")), "{breaches:?}");
+        assert!(breaches.iter().any(|b| b.contains("worst network")), "{breaches:?}");
+
+        let alerting = aggregate(&[summary("a", 0.99, 3, 0)], 60);
+        assert!(alerting.breaches(&SloPolicy::new()).iter().any(|b| b.contains("alerting")));
+
+        let violating = aggregate(&[summary("a", 0.99, 0, 1)], 60);
+        assert!(violating
+            .breaches(&SloPolicy::new())
+            .iter()
+            .any(|b| b.contains("audit violations")));
+    }
+
+    #[test]
+    fn degrade_halves_matching_labels_and_trips_the_gate() {
+        let mut summaries = vec![summary("oil-field-0000/seed1", 0.99, 0, 0)];
+        assert_eq!(degrade_matching(&mut summaries, "factory"), 0);
+        assert_eq!(degrade_matching(&mut summaries, "oil-field"), 1);
+        assert!((summaries[0].pdr - 0.495).abs() < 1e-12);
+        let report = aggregate(&summaries, 60);
+        assert!(!report.breaches(&SloPolicy::new()).is_empty());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_excludes_wall_clock() {
+        let summaries = vec![summary("a", 0.99, 0, 0), summary("b", 0.95, 0, 0)];
+        let report = aggregate(&summaries, 120);
+        let a = report.to_json(&SloPolicy::new()).to_compact();
+        let b = aggregate(&summaries, 120).to_json(&SloPolicy::new()).to_compact();
+        assert_eq!(a, b);
+        assert!(a.contains("\"fleet_pdr\""));
+        assert!(a.contains("\"slo\""));
+        assert!(!a.contains("wall"), "timings must not leak into the canonical report");
+    }
+}

@@ -1,0 +1,226 @@
+//! Fans independent fleet networks over the shared worker pool and
+//! reduces each run to a [`NetworkSummary`].
+
+use crate::spec::FleetSpec;
+use digs::config::NetworkConfig;
+use digs::network::Network;
+use digs_metrics::histogram::LogHistogram;
+use digs_pool as pool;
+use digs_sim::time::SLOTS_PER_SECOND;
+use std::time::Duration;
+
+/// Everything the fleet report needs from one network run. Latencies are
+/// carried as a [`LogHistogram`] (ms), not raw samples, so aggregating a
+/// thousand networks is a per-bucket add, and the merged quantiles agree
+/// with a single pooled histogram (see the histogram's merge property).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSummary {
+    /// Stable network label (template/index/seed, or shard name).
+    pub label: String,
+    /// Nodes simulated.
+    pub nodes: u32,
+    /// Flows configured.
+    pub flows: u32,
+    /// Packets generated across all flows.
+    pub generated: u64,
+    /// Distinct packets delivered to an access point.
+    pub delivered: u64,
+    /// Mean per-flow PDR.
+    pub pdr: f64,
+    /// Worst per-flow PDR.
+    pub worst_flow_pdr: f64,
+    /// Fraction of nodes that joined.
+    pub fraction_joined: f64,
+    /// Health alerts the telemetry monitor raised.
+    pub alerts: u64,
+    /// Alerts by rule, indexed by [`crate::aggregate::ALERT_RULES`]
+    /// (pdr-collapse, churn-storm, queue-saturation, convergence-stall).
+    pub alert_kinds: [u64; 4],
+    /// Invariant violations the runtime auditor recorded.
+    pub violations: u64,
+    /// End-to-end delivery latency, ms.
+    pub latency: LogHistogram,
+}
+
+/// Runs one fleet network to completion (audited, telemetry on) and
+/// summarizes it. `config` should already have its telemetry cadence and
+/// trace capacity pinned (see [`fleet_tuned`]).
+pub fn run_network(
+    label: &str,
+    config: NetworkConfig,
+    secs: u64,
+    audit_every: u64,
+) -> NetworkSummary {
+    let mut net = Network::new(config);
+    net.run_audited(secs * SLOTS_PER_SECOND, audit_every);
+    summarize(label, &net)
+}
+
+/// Reduces a finished network to its summary.
+pub fn summarize(label: &str, net: &Network) -> NetworkSummary {
+    use digs::telemetry::HealthRule;
+    let results = net.results();
+    let (alerts, alert_kinds, latency) = match net.telemetry() {
+        Some(t) => {
+            let mut kinds = [0u64; 4];
+            for a in t.alerts() {
+                let k = match a.rule {
+                    HealthRule::PdrCollapse => 0,
+                    HealthRule::ChurnStorm => 1,
+                    HealthRule::QueueSaturation => 2,
+                    HealthRule::ConvergenceStall => 3,
+                };
+                kinds[k] += 1;
+            }
+            (t.summary().alerts, kinds, t.latency_histogram().clone())
+        }
+        None => (0, [0; 4], LogHistogram::new()),
+    };
+    NetworkSummary {
+        label: label.to_string(),
+        nodes: net.config().topology.len() as u32,
+        flows: results.flows.len() as u32,
+        generated: u64::from(results.total_generated()),
+        delivered: u64::from(results.total_delivered()),
+        pdr: results.network_pdr(),
+        worst_flow_pdr: results.worst_flow_pdr(),
+        fraction_joined: results.fraction_joined(),
+        alerts,
+        alert_kinds,
+        violations: results.invariant_violations.len() as u64,
+        latency,
+    }
+}
+
+/// Pins the per-run knobs the fleet requires for determinism and bounded
+/// memory: tracing off (immune to `DIGS_TRACE_CAP`), telemetry at the
+/// fleet cadence with a cap sized to the run length (no epoch is ever
+/// dropped, so the latency histogram covers the whole run).
+pub fn fleet_tuned(mut config: NetworkConfig, secs: u64, telemetry_epoch: u64) -> NetworkConfig {
+    config.trace_cap = Some(0);
+    config.telemetry_epoch = Some(telemetry_epoch);
+    let epochs = if telemetry_epoch == 0 {
+        0
+    } else {
+        (secs * SLOTS_PER_SECOND).div_ceil(telemetry_epoch) + 8
+    };
+    config.telemetry_cap = Some(epochs as usize);
+    config
+}
+
+/// What one fleet invocation produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-network summaries: independent networks in group order, then
+    /// one summary per shard of each sharded network.
+    pub summaries: Vec<NetworkSummary>,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Sum of per-run durations — what a serial sweep would have cost.
+    pub serial_equivalent: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Simulated node-seconds (Σ nodes × secs) — the numerator of the
+    /// nodes-per-core-second headline.
+    pub node_secs: u64,
+    /// Per-shard busy time of each sharded network, for the bench's
+    /// utilization report (empty without sharded specs).
+    pub shard_busy: Vec<(String, Vec<Duration>)>,
+}
+
+/// Runs the whole fleet: independent networks fan out over the pool
+/// (labeled panics, results in input order), then each sharded network
+/// runs its windowed shard loop. Progress goes to stderr.
+pub fn run_fleet(spec: &FleetSpec, jobs: Option<usize>) -> FleetOutcome {
+    let mut tasks: Vec<(String, NetworkConfig)> = Vec::new();
+    for group in &spec.groups {
+        for k in 0..group.networks {
+            let seed = group.seed_base + u64::from(k);
+            let config = fleet_tuned(group.template.config(seed), spec.secs, spec.telemetry_epoch);
+            tasks.push((group.label(k), config));
+        }
+    }
+    let jobs = jobs.unwrap_or_else(|| pool::default_jobs(tasks.len().max(1))).max(1);
+    eprintln!(
+        "fleet: {} independent network(s) + {} sharded network(s), {} nodes total, \
+         {} s simulated on {} worker(s)",
+        tasks.len(),
+        spec.sharded.len(),
+        spec.total_nodes(),
+        spec.secs,
+        jobs
+    );
+
+    let wall_start = std::time::Instant::now();
+    let secs = spec.secs;
+    let audit_every = spec.audit_every;
+    let timed = pool::par_map_labeled(
+        tasks,
+        jobs,
+        |_, (label, _)| label.clone(),
+        move |(label, config)| run_network(&label, config, secs, audit_every),
+    );
+    let mut serial_equivalent: Duration = timed.iter().map(|t| t.elapsed).sum();
+    let mut summaries: Vec<NetworkSummary> = timed.into_iter().map(|t| t.value).collect();
+
+    let mut shard_busy = Vec::new();
+    for sharded in &spec.sharded {
+        let outcome =
+            crate::shard::run_sharded(sharded, spec.secs, audit_every, spec.telemetry_epoch, jobs);
+        serial_equivalent += outcome.busy.iter().sum::<Duration>();
+        shard_busy.push((sharded.name.clone(), outcome.busy.clone()));
+        summaries.extend(outcome.summaries);
+    }
+
+    FleetOutcome {
+        summaries,
+        wall: wall_start.elapsed(),
+        serial_equivalent,
+        jobs,
+        node_secs: spec.total_nodes() * spec.secs,
+        shard_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetSpec, Template};
+
+    #[test]
+    fn fleet_tuned_pins_observation_knobs() {
+        let config = fleet_tuned(Template::OilField.config(1), 120, 1_000);
+        assert_eq!(config.trace_cap, Some(0));
+        assert_eq!(config.telemetry_epoch, Some(1_000));
+        // 120 s * 100 slots / 1000 = 12 epochs, plus slack — never dropped.
+        assert_eq!(config.telemetry_cap, Some(20));
+        let off = fleet_tuned(Template::OilField.config(1), 120, 0);
+        assert_eq!(off.telemetry_cap, Some(0));
+    }
+
+    #[test]
+    fn small_fleet_is_deterministic_and_summarized() {
+        let spec = FleetSpec::new().group(Template::OilField, 2, 1).secs(150);
+        let a = run_fleet(&spec, Some(2));
+        let b = run_fleet(&spec, Some(1));
+        assert_eq!(a.summaries.len(), 2);
+        assert_eq!(a.node_secs, 2 * 47 * 150);
+        // Same spec, different worker counts: identical summaries.
+        assert_eq!(a.summaries, b.summaries);
+        for s in &a.summaries {
+            assert!(s.generated > 0, "{}: flows must generate traffic", s.label);
+            // 150 s leaves only 90 s of traffic after warmup; deep
+            // pipeline flows legitimately sit near 0.5 at some seeds.
+            assert!(s.pdr > 0.3, "{}: PDR collapsed to {}", s.label, s.pdr);
+            assert_eq!(s.nodes, 47);
+            assert!(!s.latency.is_empty(), "{}: telemetry must record latencies", s.label);
+        }
+        // Different seeds must produce different runs.
+        assert_ne!(a.summaries[0].generated, 0);
+        assert_ne!(
+            (a.summaries[0].delivered, a.summaries[0].latency.clone()),
+            (a.summaries[1].delivered, a.summaries[1].latency.clone()),
+            "distinct seeds should not produce identical runs"
+        );
+    }
+}

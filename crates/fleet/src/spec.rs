@@ -1,0 +1,243 @@
+//! Fleet specifications: what to simulate, declaratively.
+
+use digs::config::{NetworkConfig, Protocol};
+use digs::scenarios;
+
+/// A scenario template independent networks are stamped out from. Each
+/// template is a promoted [`digs::scenarios`] deployment; the per-network
+/// seed selects the flow set and the master RNG seed, so two networks of
+/// the same template never share a channel realisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// 47-node pipeline deployment ([`scenarios::oil_field`]).
+    OilField,
+    /// 82-node machine-hall deployment ([`scenarios::factory_floor`]).
+    FactoryFloor,
+}
+
+impl Template {
+    /// Short name used in labels, reports, and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Template::OilField => "oil-field",
+            Template::FactoryFloor => "factory-floor",
+        }
+    }
+
+    /// Nodes per network (access points + field devices).
+    pub fn nodes(self) -> usize {
+        match self {
+            Template::OilField => 47,
+            Template::FactoryFloor => 82,
+        }
+    }
+
+    /// Instantiates the template for one network.
+    pub fn config(self, seed: u64) -> NetworkConfig {
+        match self {
+            Template::OilField => scenarios::oil_field(Protocol::Digs, seed),
+            Template::FactoryFloor => scenarios::factory_floor(Protocol::Digs, seed),
+        }
+    }
+}
+
+impl std::str::FromStr for Template {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Template, String> {
+        match s {
+            "oil" | "oil-field" => Ok(Template::OilField),
+            "factory" | "factory-floor" => Ok(Template::FactoryFloor),
+            other => Err(format!("unknown template `{other}` (expected oil | factory)")),
+        }
+    }
+}
+
+/// A group of independent networks sharing one template.
+#[derive(Debug, Clone)]
+pub struct FleetGroup {
+    /// The deployment template.
+    pub template: Template,
+    /// How many networks to stamp out.
+    pub networks: u32,
+    /// Seed of the group's first network; network `k` runs at
+    /// `seed_base + k`.
+    pub seed_base: u64,
+}
+
+impl FleetGroup {
+    /// The label of network `k` — stable across runs, used for panic
+    /// attribution and the worst-k table.
+    pub fn label(&self, k: u32) -> String {
+        format!("{}-{:04}/seed{}", self.template.name(), k, self.seed_base + u64::from(k))
+    }
+}
+
+/// One spatially sharded large network: a row of `side` × `side` m
+/// square strips, one shard per strip, that run their slot loops
+/// independently and exchange boundary-interference state at
+/// slotframe-window edges (see [`crate::shard`]).
+#[derive(Debug, Clone)]
+pub struct ShardedSpec {
+    /// Network name (labels, reports).
+    pub name: String,
+    /// Total field devices across all shards.
+    pub devices: usize,
+    /// Maximum field devices per shard (each shard also gets two access
+    /// points on its strip centerline).
+    pub shard_devices: usize,
+    /// Side of one square shard strip, meters — it bounds how far a
+    /// device can sit from its strip-center access point, and therefore
+    /// the hop depth the shard's slotframe latency must cover.
+    pub side: f64,
+    /// Master seed (drives placement, flows, and every shard's stacks).
+    pub seed: u64,
+    /// Monitor flows sourced per shard.
+    pub flows_per_shard: usize,
+}
+
+impl ShardedSpec {
+    /// A campus-scale default: `devices` devices in 100-device shards
+    /// over 120 m × 120 m strips, 8 monitor flows each.
+    pub fn sized(name: impl Into<String>, devices: usize, seed: u64) -> ShardedSpec {
+        // The strip side is set by the latency budget, not the device
+        // count: a 100-device shard needs a 307-slot Eq. 4 frame
+        // (~3.1 s), routing hops cover 35–50 m under the open-area
+        // model, and the route from a strip corner (~141 m out) must
+        // land within the 30 s monitor period with margin. Growing
+        // `devices` therefore adds strips instead of stretching them.
+        ShardedSpec {
+            name: name.into(),
+            devices,
+            shard_devices: 100,
+            side: 120.0,
+            seed,
+            flows_per_shard: 8,
+        }
+    }
+
+    /// Number of shards this spec partitions into.
+    pub fn num_shards(&self) -> usize {
+        self.devices.div_ceil(self.shard_devices.max(1)).max(1)
+    }
+
+    /// Total nodes including the two access points per shard.
+    pub fn total_nodes(&self) -> usize {
+        self.devices + 2 * self.num_shards()
+    }
+}
+
+/// The complete fleet: independent network groups plus sharded large
+/// networks, all run for the same simulated duration.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Groups of independent template networks.
+    pub groups: Vec<FleetGroup>,
+    /// Sharded single large networks.
+    pub sharded: Vec<ShardedSpec>,
+    /// Simulated seconds per network.
+    pub secs: u64,
+    /// Invariant-audit cadence in slots (see
+    /// [`digs::network::Network::run_audited`]).
+    pub audit_every: u64,
+    /// Telemetry sampling cadence in slots (drives the per-network
+    /// latency histograms and health alerts the fleet report aggregates).
+    pub telemetry_epoch: u64,
+}
+
+impl FleetSpec {
+    /// An empty fleet with the default cadences: 600 simulated seconds,
+    /// audits every 20 s, telemetry epochs every 10 s. The duration is
+    /// sized so lifetime PDR clears the SLO floors: link quality is only
+    /// discovered by data traffic, and the first ~3 minutes of a run
+    /// legitimately lose packets while ETX estimates correct themselves.
+    pub fn new() -> FleetSpec {
+        FleetSpec {
+            groups: Vec::new(),
+            sharded: Vec::new(),
+            secs: 600,
+            audit_every: 2_000,
+            telemetry_epoch: 1_000,
+        }
+    }
+
+    /// Adds a group of independent template networks.
+    pub fn group(mut self, template: Template, networks: u32, seed_base: u64) -> FleetSpec {
+        self.groups.push(FleetGroup { template, networks, seed_base });
+        self
+    }
+
+    /// Adds a sharded large network.
+    pub fn sharded(mut self, spec: ShardedSpec) -> FleetSpec {
+        self.sharded.push(spec);
+        self
+    }
+
+    /// Sets the simulated duration.
+    pub fn secs(mut self, secs: u64) -> FleetSpec {
+        self.secs = secs;
+        self
+    }
+
+    /// Total networks (each shard counts toward its one network).
+    pub fn networks(&self) -> usize {
+        self.groups.iter().map(|g| g.networks as usize).sum::<usize>() + self.sharded.len()
+    }
+
+    /// Total simulated nodes across the fleet.
+    pub fn total_nodes(&self) -> u64 {
+        let independent: u64 =
+            self.groups.iter().map(|g| u64::from(g.networks) * g.template.nodes() as u64).sum();
+        let sharded: u64 = self.sharded.iter().map(|s| s.total_nodes() as u64).sum();
+        independent + sharded
+    }
+}
+
+impl Default for FleetSpec {
+    fn default() -> FleetSpec {
+        FleetSpec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_parse_and_shape() {
+        assert_eq!("oil".parse::<Template>().unwrap(), Template::OilField);
+        assert_eq!("factory-floor".parse::<Template>().unwrap(), Template::FactoryFloor);
+        assert!("refinery".parse::<Template>().is_err());
+        // The advertised node counts must match the actual topologies.
+        for t in [Template::OilField, Template::FactoryFloor] {
+            assert_eq!(t.config(1).topology.len(), t.nodes(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn group_labels_are_stable_and_distinct() {
+        let g = FleetGroup { template: Template::OilField, networks: 3, seed_base: 10 };
+        assert_eq!(g.label(0), "oil-field-0000/seed10");
+        assert_eq!(g.label(2), "oil-field-0002/seed12");
+    }
+
+    #[test]
+    fn fleet_arithmetic() {
+        let spec = FleetSpec::new()
+            .group(Template::OilField, 10, 1)
+            .group(Template::FactoryFloor, 4, 1)
+            .sharded(ShardedSpec::sized("big", 1000, 7));
+        assert_eq!(spec.networks(), 15);
+        // 10*47 + 4*82 + (1000 devices + 2 APs x 10 shards)
+        assert_eq!(spec.total_nodes(), 470 + 328 + 1020);
+    }
+
+    #[test]
+    fn sharded_partition_counts() {
+        let s = ShardedSpec::sized("x", 1000, 1);
+        assert_eq!(s.num_shards(), 10);
+        assert_eq!(s.total_nodes(), 1020);
+        let odd = ShardedSpec { devices: 501, ..s };
+        assert_eq!(odd.num_shards(), 6);
+    }
+}

@@ -402,5 +402,44 @@ mod prop_tests {
             a.merge(&b);
             prop_assert_eq!(a, whole);
         }
+
+        /// The fleet invariant: folding N per-network histograms into one
+        /// is structurally identical to recording the pooled stream, and
+        /// the merged quantiles agree with the pooled quantiles to within
+        /// one bucket width (they are in fact identical here, since the
+        /// structures are equal — the quantile bound is stated to match
+        /// the documented contract).
+        #[test]
+        fn n_way_merge_equals_pooled_stream(
+            streams in proptest::collection::vec(
+                proptest::collection::vec(0u64..1_000_000, 0..60),
+                1..12
+            ),
+            p in 0.0f64..100.0
+        ) {
+            let mut merged = LogHistogram::new();
+            let mut pooled = LogHistogram::new();
+            for stream in &streams {
+                let mut h = LogHistogram::new();
+                for v in stream {
+                    h.record(*v);
+                    pooled.record(*v);
+                }
+                merged.merge(&h);
+            }
+            prop_assert_eq!(&merged, &pooled);
+            prop_assert_eq!(merged.count(), streams.iter().map(Vec::len).sum::<usize>() as u64);
+            match (merged.quantile(p), pooled.quantile(p)) {
+                (None, None) => prop_assert!(merged.is_empty()),
+                (Some(m), Some(w)) => {
+                    let width = LogHistogram::width_at(w.max(0.0) as u64) as f64;
+                    prop_assert!(
+                        (m - w).abs() <= width,
+                        "p={}: merged {} vs pooled {} (width {})", p, m, w, width
+                    );
+                }
+                other => prop_assert!(false, "emptiness mismatch: {:?}", other),
+            }
+        }
     }
 }

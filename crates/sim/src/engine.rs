@@ -126,6 +126,11 @@ pub struct Engine {
     topology: Topology,
     link: LinkModel,
     jammers: Vec<Jammer>,
+    /// Ambient (cross-network) interference sources: boundary load
+    /// installed by the fleet's shard exchange. Kept apart from
+    /// `jammers` so scenario-owned adversaries and fleet-owned boundary
+    /// state can be replaced independently between slotframe windows.
+    ambient: Vec<Jammer>,
     faults: FaultPlan,
     rng: SmallRng,
     asn: Asn,
@@ -150,6 +155,7 @@ impl Engine {
             topology,
             link,
             jammers: Vec::new(),
+            ambient: Vec::new(),
             faults: FaultPlan::none(),
             rng: rng::engine_rng(seed),
             asn: Asn::ZERO,
@@ -195,6 +201,20 @@ impl Engine {
     /// The configured interference sources.
     pub fn jammers(&self) -> &[Jammer] {
         &self.jammers
+    }
+
+    /// Replaces the ambient (cross-network) interference set wholesale.
+    /// The fleet's shard exchange calls this at slotframe-window edges
+    /// with fresh boundary-load estimates; emission is hash-gated on
+    /// `(salt, asn, channel)`, so swapping the set never perturbs the
+    /// engine's random stream.
+    pub fn set_ambient_jammers(&mut self, ambient: Vec<Jammer>) {
+        self.ambient = ambient;
+    }
+
+    /// The currently installed ambient interference sources.
+    pub fn ambient_jammers(&self) -> &[Jammer] {
+        &self.ambient
     }
 
     /// Installs the failure schedule.
@@ -377,6 +397,7 @@ impl Engine {
             cands.sort_by(|a, b| b.1.dbm().total_cmp(&a.1.dbm()));
             let (best_idx, best_rss) = cands[0];
             let mut interference_mw = total_interference_mw(&self.jammers, &rx_pos, ch, asn, &rf)
+                + total_interference_mw(&self.ambient, &rx_pos, ch, asn, &rf)
                 + rf.noise_floor.to_milliwatts();
             for (_, rss) in &cands[1..] {
                 interference_mw += rss.to_milliwatts();
@@ -397,6 +418,7 @@ impl Engine {
                         || self.faults.is_link_up(*rx_id, tx_id, asn);
                     let ack_rss = self.link.rss(*rx_id, tx_id, ch, asn);
                     let ack_inter = total_interference_mw(&self.jammers, &tx_pos, ch, asn, &rf)
+                        + total_interference_mw(&self.ambient, &tx_pos, ch, asn, &rf)
                         + rf.noise_floor.to_milliwatts();
                     let ack_sinr = ack_rss.dbm() - 10.0 * ack_inter.log10();
                     if link_up && self.rng.gen::<f64>() < prr_from_sinr_db(ack_sinr) {

@@ -1,61 +1,33 @@
 //! Domain example from the paper's introduction: "hundreds of devices over
-//! an oil field" — here, wellhead clusters strung along a pipeline with the
+//! an oil field" — wellhead clusters strung along a pipeline with the
 //! gateway (two access points) at the processing facility.
 //!
-//! Shows how to build a custom [`Topology`], sanity-check it with
-//! [`TopologyAnalysis`] before running anything, and then run DiGS on a
-//! genuinely deep (5+ hop) industrial deployment.
+//! The topology and scenario live in [`digs::scenarios`] (the fleet runner
+//! instantiates them by the thousand); this example sanity-checks the
+//! deployment with [`TopologyAnalysis`] before running anything, then runs
+//! DiGS on a genuinely deep (5+ hop) industrial network.
 //!
 //! ```sh
 //! cargo run --release --example oil_field
 //! ```
 
-use digs::config::{NetworkConfig, Protocol};
+use digs::config::Protocol;
 use digs::network::Network;
-use digs_scheduling::SlotframeLengths;
+use digs::scenarios;
 use digs_sim::analysis::TopologyAnalysis;
-use digs_sim::ids::NodeId;
-use digs_sim::position::Position;
-use digs_sim::rf::RfConfig;
-use digs_sim::topology::{Role, Topology};
-
-/// Five wellhead clusters of six devices each, spaced 25 m along a
-/// pipeline, plus a pressure sensor every 12 m between clusters. The two
-/// access points sit at the processing facility (west end).
-fn oil_field() -> Topology {
-    let mut positions = vec![Position::new(0.0, 4.0), Position::new(0.0, -4.0)];
-    let mut roles = vec![Role::AccessPoint, Role::AccessPoint];
-    // Pipeline pressure sensors: every 12 m for 180 m.
-    for i in 1..=15 {
-        positions.push(Position::new(12.0 * f64::from(i), 0.0));
-        roles.push(Role::FieldDevice);
-    }
-    // Wellhead clusters hanging off the pipeline.
-    for cluster in 0..5 {
-        let base_x = 30.0 + 36.0 * f64::from(cluster);
-        for k in 0..6 {
-            let dx = f64::from(k % 3) * 5.0;
-            let dy = 8.0 + f64::from(k / 3) * 6.0;
-            let side = if cluster % 2 == 0 { 1.0 } else { -1.0 };
-            positions.push(Position::new(base_x + dx, side * dy));
-            roles.push(Role::FieldDevice);
-        }
-    }
-    Topology::new("oil-field", positions, roles)
-}
 
 fn main() {
-    let topology = oil_field();
-    // Run the field devices at reduced power (-10 dBm): links stay short
-    // and reliable (the paper's RSS→ETX mapping caps weak links at ETX 3,
-    // which makes long marginal links look cheaper than they are — short
-    // hops avoid that trap and save energy).
-    let rf = RfConfig { tx_power: digs_sim::rf::Dbm(-10.0), ..RfConfig::open_area() };
+    // Monitor flows from the far wellhead clusters, one packet per 5 s,
+    // starting after a one-minute network-formation window; devices at
+    // full CC2420 power (0 dBm) — the open-area pipeline needs the link
+    // margin, and the pump-station access points a third of the way
+    // along keep every cluster within a few hops.
+    let config = scenarios::oil_field(Protocol::Digs, 11);
 
     // Pre-flight: is the deployment even connected at this power, and how
     // deep is it? Which devices are single points of failure?
-    let analysis = TopologyAnalysis::new(&topology, &rf);
-    println!("deployment      : {} devices", topology.len());
+    let analysis = TopologyAnalysis::new(&config.topology, &config.rf);
+    println!("deployment      : {} devices", config.topology.len());
     println!("connected       : {}", analysis.is_connected());
     println!("network depth   : {:?} hops", analysis.depth());
     println!("mean degree     : {:.1}", analysis.mean_degree());
@@ -66,23 +38,6 @@ fn main() {
         cut_points.iter().map(|n| n.0).collect::<Vec<_>>()
     );
 
-    // Monitor flows from the far wellhead clusters, one packet per 5 s,
-    // starting after a one-minute network-formation window. The deepest
-    // clusters need A·devices distinct Eq. 4 cells, so size the
-    // application slotframe accordingly (149 is prime: 45 devices × 3
-    // attempts = 135 cells fit).
-    let far_sources: Vec<NodeId> = topology.field_devices().into_iter().rev().take(6).collect();
-    let mut flows = digs::flows::flow_set_from_sources(&far_sources, 500);
-    for f in &mut flows {
-        f.phase += 6000;
-    }
-    let config = NetworkConfig::builder(topology)
-        .protocol(Protocol::Digs)
-        .rf(rf)
-        .slotframes(SlotframeLengths { app: 149, ..SlotframeLengths::paper() })
-        .seed(11)
-        .flows(flows)
-        .build();
     let mut network = Network::new(config);
     network.run_secs(420);
 
